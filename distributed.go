@@ -1,0 +1,85 @@
+package paydemand
+
+import (
+	"context"
+	"net/http"
+
+	"paydemand/internal/aggregate"
+	"paydemand/internal/client"
+	"paydemand/internal/reputation"
+	"paydemand/internal/server"
+	"paydemand/internal/wire"
+)
+
+// Distributed deployment: the platform HTTP server and the worker client
+// that speak the WST protocol of internal/wire.
+type (
+	// Platform is the crowdsensing platform HTTP service; it implements
+	// http.Handler.
+	Platform = server.Platform
+	// PlatformConfig parameterizes the platform.
+	PlatformConfig = server.Config
+	// Client calls a platform's HTTP API.
+	Client = client.Client
+	// Worker runs the full distributed WST loop against a platform.
+	Worker = client.Worker
+	// WorkerConfig parameterizes a Worker.
+	WorkerConfig = client.WorkerConfig
+	// Sensor produces the value a worker uploads when performing a task.
+	Sensor = client.Sensor
+	// RoundInfo is the platform's published state for one round.
+	RoundInfo = wire.RoundInfo
+	// SubmitRequest uploads a worker's measurements.
+	SubmitRequest = wire.SubmitRequest
+	// Measurement is one uploaded sensed value.
+	Measurement = wire.Measurement
+	// StatusResponse is the platform's metric snapshot.
+	StatusResponse = wire.StatusResponse
+	// AggregationConfig selects how the platform reduces a task's
+	// measurements into one estimate.
+	AggregationConfig = aggregate.Config
+	// AggregateEstimate is an aggregated task value with its confidence
+	// interval.
+	AggregateEstimate = aggregate.Estimate
+	// AggregationMethod selects an estimator.
+	AggregationMethod = aggregate.Method
+	// ReputationTracker maintains per-worker sensing-quality scores.
+	ReputationTracker = reputation.Tracker
+	// ReputationContribution pairs a contributor with its reading.
+	ReputationContribution = reputation.Contribution
+)
+
+// NewReputationTracker builds a tracker; zero arguments select the
+// defaults (alpha 0.2, initial score 0.5).
+func NewReputationTracker(alpha, initial float64) (*ReputationTracker, error) {
+	return reputation.NewTracker(alpha, initial)
+}
+
+// Aggregation estimators.
+const (
+	AggregateMean        = aggregate.Mean
+	AggregateMedian      = aggregate.Median
+	AggregateTrimmedMean = aggregate.TrimmedMean
+	AggregateRobustMean  = aggregate.RobustMean
+)
+
+// AggregateValues reduces measurements with the configured estimator.
+func AggregateValues(cfg AggregationConfig, values []float64) (AggregateEstimate, error) {
+	return aggregate.Aggregate(cfg, values)
+}
+
+// NewPlatform builds the platform HTTP service.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	return server.New(cfg)
+}
+
+// NewClient creates a client for the platform at baseURL. httpClient may
+// be nil for a sensible default.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	return client.New(baseURL, httpClient)
+}
+
+// NewWorker registers a worker with the platform and returns its runner.
+func NewWorker(ctx context.Context, c *Client, cfg WorkerConfig) (*Worker, error) {
+	return client.NewWorker(ctx, c, cfg)
+}

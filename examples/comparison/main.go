@@ -1,0 +1,98 @@
+// Comparison: run the three incentive mechanisms of the paper's evaluation
+// (demand-based on-demand, fixed, steered) on identical scenarios and
+// narrate how their behavior diverges round by round — the story of the
+// paper's Figs. 6-9 on a single seed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"paydemand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "comparison:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const seed = 7
+	mechanisms := []paydemand.MechanismKind{
+		paydemand.MechanismOnDemand,
+		paydemand.MechanismFixed,
+		paydemand.MechanismSteered,
+	}
+
+	results := make([]paydemand.TrialResult, 0, len(mechanisms)+1)
+	for _, mech := range mechanisms {
+		cfg := paydemand.Config{Mechanism: mech, Rounds: 15}
+		res, err := paydemand.Run(cfg, seed)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	// The SAT-mode reverse auction, the centralized alternative the paper
+	// argues against, on the same workload shape.
+	satRes, err := paydemand.RunSAT(paydemand.SATConfig{Rounds: 15}, seed)
+	if err != nil {
+		return err
+	}
+	results = append(results, satRes)
+
+	fmt.Println("Incentive mechanism comparison (one scenario, seed 7, 100 users, 20 tasks)")
+	fmt.Println()
+	fmt.Printf("%-24s %12s %12s %12s %12s\n", "metric", "on-demand", "fixed", "steered", "sat-auction")
+	row := func(name string, pick func(paydemand.TrialResult) float64, format string) {
+		fmt.Printf("%-24s", name)
+		for _, r := range results {
+			fmt.Printf(" %12s", fmt.Sprintf(format, pick(r)))
+		}
+		fmt.Println()
+	}
+	row("coverage (%)", func(r paydemand.TrialResult) float64 { return r.Coverage * 100 }, "%.1f")
+	row("completeness (%)", func(r paydemand.TrialResult) float64 { return r.OverallCompleteness * 100 }, "%.1f")
+	row("strict completeness (%)", func(r paydemand.TrialResult) float64 { return r.StrictCompleteness * 100 }, "%.1f")
+	row("avg measurements", func(r paydemand.TrialResult) float64 { return r.AvgMeasurements }, "%.2f")
+	row("variance", func(r paydemand.TrialResult) float64 { return r.VarianceMeasurements }, "%.2f")
+	row("reward paid ($)", func(r paydemand.TrialResult) float64 { return r.TotalRewardPaid }, "%.1f")
+	row("$/measurement", func(r paydemand.TrialResult) float64 { return r.AvgRewardPerMeasurement }, "%.3f")
+
+	fmt.Println("\nNew measurements per round (who keeps collecting?):")
+	fmt.Printf("%5s %12s %12s %12s %12s\n", "round", "on-demand", "fixed", "steered", "sat-auction")
+	for k := 1; k <= 15; k++ {
+		fmt.Printf("%5d", k)
+		for _, r := range results {
+			if rs, ok := r.RoundAt(k); ok {
+				fmt.Printf(" %12d", rs.NewMeasurements)
+			} else {
+				fmt.Printf(" %12s", "-")
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nMean published reward per round (how do prices move?):")
+	fmt.Printf("%5s %12s %12s %12s %12s\n", "round", "on-demand", "fixed", "steered", "sat-auction")
+	for k := 1; k <= 15; k++ {
+		fmt.Printf("%5d", k)
+		for _, r := range results {
+			rs, ok := r.RoundAt(k)
+			if !ok || rs.OpenTasks == 0 {
+				fmt.Printf(" %12s", "-")
+				continue
+			}
+			fmt.Printf(" %12.3f", rs.MeanPublishedReward)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nReading the table: the fixed mechanism's rewards never move, so remote")
+	fmt.Println("tasks stay unattractive and die uncovered; steered's rewards only decay,")
+	fmt.Println("so collection stops early; on-demand raises prices exactly where demand")
+	fmt.Println("is unmet and keeps measurements flowing until the deadlines. The SAT\nauction allocates centrally with global knowledge — the paper argues that\nrequirement away, and on-demand WST nearly matches it without one.")
+	return nil
+}

@@ -1,0 +1,145 @@
+// Distributed: the WST protocol over a real TCP listener. The platform
+// publishes demand-priced tasks over HTTP; a fleet of worker processes
+// (goroutines here, but each speaking only the wire protocol) selects and
+// uploads; an operator loop advances rounds. This is the same deployment
+// shape as cmd/platform + cmd/worker, condensed into one runnable example.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"paydemand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distributed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Campaign: 12 tasks in a 3 km square.
+	sc, err := paydemand.GenerateScenario(11, paydemand.WorkloadConfig{
+		NumTasks: 12,
+		NumUsers: 1, // unused; workers register their own locations
+		Required: 4,
+	})
+	if err != nil {
+		return err
+	}
+	scheme, err := paydemand.NewRewardScheme(400, 12*4, 0.5, 5)
+	if err != nil {
+		return err
+	}
+	mech, err := paydemand.NewOnDemandMechanism(scheme)
+	if err != nil {
+		return err
+	}
+	platform, err := paydemand.NewPlatform(paydemand.PlatformConfig{
+		Tasks:          sc.Tasks,
+		Mechanism:      mech,
+		Area:           sc.Area,
+		NeighborRadius: 500,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return err
+	}
+
+	// Serve on a real local TCP port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: platform, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Println("platform listening at", baseURL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := paydemand.NewClient(baseURL, nil)
+
+	// 16 workers scattered over the area.
+	const nWorkers = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, nWorkers)
+	profits := make([]float64, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		w, err := paydemand.NewWorker(ctx, c, paydemand.WorkerConfig{
+			Start: paydemand.Pt(
+				float64((i*911)%3000),
+				float64((i*577)%3000),
+			),
+			PollInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+				errCh <- err
+				return
+			}
+			profits[i] = w.Profit()
+		}()
+	}
+
+	// Operator: advance a round every 50 ms and narrate.
+	done := false
+	for !done {
+		time.Sleep(50 * time.Millisecond)
+		status, err := c.Status(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %2d: %2d open tasks, %3d measurements, coverage %3.0f%%\n",
+			status.Round, status.OpenTasks, status.TotalMeasurements, status.Coverage*100)
+		adv, err := c.Advance(ctx)
+		if err != nil {
+			return err
+		}
+		done = adv.Done
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	status, err := c.Status(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncampaign done after round %d\n", status.Round)
+	fmt.Printf("coverage %.0f%%, completeness %.0f%%, $%.2f paid for %d measurements\n",
+		status.Coverage*100, status.OverallCompleteness*100,
+		status.TotalRewardPaid, status.TotalMeasurements)
+	best := 0
+	for i, p := range profits {
+		if p > profits[best] {
+			best = i
+		}
+	}
+	fmt.Printf("top earner: worker %d with $%.2f\n", best+1, profits[best])
+
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	<-serveErr
+	return nil
+}

@@ -1,0 +1,155 @@
+// Resumable: campaign persistence in action. A platform runs half a
+// campaign, snapshots its state to disk (as `cmd/platform -state` does on
+// shutdown), is torn down completely, and a second platform instance
+// restores the snapshot and finishes the campaign — workers keep their
+// IDs, tasks keep their progress, and the once-per-user rule survives the
+// restart.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"paydemand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resumable:", err)
+		os.Exit(1)
+	}
+}
+
+// newPlatform builds one platform life; both lives must use the same
+// configuration (the snapshot carries state, not config).
+func newPlatform() (*paydemand.Platform, error) {
+	scheme, err := paydemand.NewRewardScheme(300, 3*3, 0.5, 5)
+	if err != nil {
+		return nil, err
+	}
+	mech, err := paydemand.NewOnDemandMechanism(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return paydemand.NewPlatform(paydemand.PlatformConfig{
+		Tasks: []paydemand.Task{
+			{ID: 1, Location: paydemand.Pt(500, 500), Deadline: 6, Required: 3},
+			{ID: 2, Location: paydemand.Pt(1500, 800), Deadline: 6, Required: 3},
+			{ID: 3, Location: paydemand.Pt(900, 1400), Deadline: 6, Required: 3},
+		},
+		Mechanism:      mech,
+		Area:           paydemand.Square(3000),
+		NeighborRadius: 500,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	statePath := filepath.Join(os.TempDir(), "paydemand-resumable.json")
+	defer os.Remove(statePath)
+
+	// ---- First life: two workers act in round 1, then the platform dies.
+	platform1, err := newPlatform()
+	if err != nil {
+		return err
+	}
+	srv1 := httptest.NewServer(platform1)
+	c1 := paydemand.NewClient(srv1.URL, srv1.Client())
+	for i := 0; i < 2; i++ {
+		w, err := paydemand.NewWorker(ctx, c1, paydemand.WorkerConfig{
+			Start:        paydemand.Pt(float64(400+i*200), 600),
+			PollInterval: time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := w.Step(ctx); err != nil {
+			return err
+		}
+	}
+	status1, err := c1.Status(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("life 1: round %d, %d measurements, $%.2f paid\n",
+		status1.Round, status1.TotalMeasurements, status1.TotalRewardPaid)
+
+	f, err := os.Create(statePath)
+	if err != nil {
+		return err
+	}
+	if err := platform1.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	srv1.Close()
+	fmt.Println("platform stopped; snapshot written")
+
+	// ---- Second life: restore and finish the campaign.
+	platform2, err := newPlatform()
+	if err != nil {
+		return err
+	}
+	sf, err := os.Open(statePath)
+	if err != nil {
+		return err
+	}
+	snap, err := paydemand.ReadPlatformSnapshot(sf)
+	sf.Close()
+	if err != nil {
+		return err
+	}
+	if err := platform2.Restore(snap); err != nil {
+		return err
+	}
+	srv2 := httptest.NewServer(platform2)
+	defer srv2.Close()
+	c2 := paydemand.NewClient(srv2.URL, srv2.Client())
+
+	status2, err := c2.Status(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("life 2 (restored): round %d, %d measurements carried over\n",
+		status2.Round, status2.TotalMeasurements)
+
+	// A third worker joins the restored campaign; rounds advance until done.
+	w, err := paydemand.NewWorker(ctx, c2, paydemand.WorkerConfig{
+		Start:        paydemand.Pt(1000, 1000),
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	go func() {
+		for {
+			time.Sleep(20 * time.Millisecond)
+			adv, err := c2.Advance(ctx)
+			if err != nil || adv.Done {
+				return
+			}
+		}
+	}()
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+
+	final, err := c2.Status(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final: coverage %.0f%%, completeness %.0f%%, %d measurements, worker IDs continued at %d\n",
+		final.Coverage*100, final.OverallCompleteness*100, final.TotalMeasurements, w.ID())
+	return nil
+}

@@ -1,0 +1,41 @@
+package paydemand
+
+import (
+	"io"
+
+	"paydemand/internal/experiments"
+)
+
+// Experiment harness: regenerate the paper's tables and figures.
+type (
+	// ExperimentOptions configures an experiment run; the zero value
+	// reproduces the paper's setup (100 trials, users 40..140).
+	ExperimentOptions = experiments.Options
+	// Figure is a reproduced table or figure.
+	Figure = experiments.Figure
+	// FigureSeries is one plotted line.
+	FigureSeries = experiments.Series
+)
+
+// ExperimentIDs lists the reproducible figures ("fig5a" .. "fig9b").
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one figure.
+func RunExperiment(id string, opts ExperimentOptions) (Figure, error) {
+	return experiments.Run(id, opts)
+}
+
+// RenderFigureTable writes the figure as an aligned ASCII table.
+func RenderFigureTable(w io.Writer, f Figure) error {
+	return experiments.RenderTable(w, f)
+}
+
+// RenderFigurePlot writes a coarse ASCII plot of the figure.
+func RenderFigurePlot(w io.Writer, f Figure, width, height int) error {
+	return experiments.RenderPlot(w, f, width, height)
+}
+
+// RenderFigureCSV writes the figure in long-form CSV.
+func RenderFigureCSV(w io.Writer, f Figure) error {
+	return experiments.RenderCSV(w, f)
+}

@@ -1,0 +1,3 @@
+module paydemand
+
+go 1.22

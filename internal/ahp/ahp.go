@@ -1,0 +1,182 @@
+// Package ahp implements the Analytic Hierarchy Process (Saaty, 1980) used
+// by the demand-based dynamic incentive mechanism to weigh the three demand
+// criteria (deadline, completing progress, neighboring mobile users).
+//
+// The package covers the full AHP workflow:
+//
+//   - building and validating positive reciprocal pairwise comparison
+//     matrices on the 1-9 Saaty scale (Table I of the paper);
+//   - deriving priority (weight) vectors by three standard methods: the
+//     column-normalized row mean used in the paper (Eq. 6), the principal
+//     eigenvector method, and the geometric-mean (logarithmic least squares)
+//     method;
+//   - measuring judgment consistency via the consistency index (CI) and
+//     consistency ratio (CR);
+//   - composing a multi-level hierarchy (criteria weights x per-criterion
+//     alternative scores) into global alternative priorities.
+package ahp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"paydemand/internal/matrix"
+)
+
+// Saaty-scale anchor values for the relative importance of one criterion
+// over another. Intermediate values 2, 4, 6, 8 are also legal.
+const (
+	EqualImportance    = 1.0
+	ModerateImportance = 3.0
+	StrongImportance   = 5.0
+	VeryStrong         = 7.0
+	ExtremeImportance  = 9.0
+)
+
+// MaxScale is the largest legal Saaty judgment. Entries must lie in
+// [1/MaxScale, MaxScale].
+const MaxScale = 9.0
+
+// Common errors returned by this package.
+var (
+	ErrNotReciprocal = errors.New("ahp: matrix is not reciprocal")
+	ErrNotPositive   = errors.New("ahp: matrix entries must be positive")
+	ErrBadScale      = errors.New("ahp: judgment outside the 1/9..9 Saaty scale")
+	ErrTooSmall      = errors.New("ahp: need at least one criterion")
+)
+
+// reciprocalTol is the tolerance used when checking a[i][j]*a[j][i] == 1.
+const reciprocalTol = 1e-9
+
+// PairwiseMatrix is a validated positive reciprocal pairwise comparison
+// matrix A where A[i][j] expresses how much more important criterion i is
+// than criterion j.
+//
+// Construct with NewPairwiseMatrix or FromUpperTriangle; the zero value is
+// not usable.
+type PairwiseMatrix struct {
+	m *Dense
+}
+
+// Dense is re-exported so callers do not need to import internal/matrix.
+type Dense = matrix.Dense
+
+// NewPairwiseMatrix validates rows as a positive reciprocal comparison
+// matrix and wraps it. Diagonal entries must be 1 and a[i][j]*a[j][i] must
+// equal 1 within a small tolerance. Entries must lie on the extended Saaty
+// scale [1/9, 9].
+func NewPairwiseMatrix(rows [][]float64) (*PairwiseMatrix, error) {
+	m, err := matrix.NewFromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("ahp: %w", err)
+	}
+	if !m.IsSquare() {
+		return nil, fmt.Errorf("ahp: comparison matrix must be square, got %dx%d", m.Rows(), m.Cols())
+	}
+	if m.Rows() == 0 {
+		return nil, ErrTooSmall
+	}
+	n := m.Rows()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := m.At(i, j)
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: a[%d][%d] = %v", ErrNotPositive, i, j, v)
+			}
+			if v < 1/MaxScale-reciprocalTol || v > MaxScale+reciprocalTol {
+				return nil, fmt.Errorf("%w: a[%d][%d] = %v", ErrBadScale, i, j, v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(m.At(i, i)-1) > reciprocalTol {
+			return nil, fmt.Errorf("%w: diagonal a[%d][%d] = %v", ErrNotReciprocal, i, i, m.At(i, i))
+		}
+		for j := i + 1; j < n; j++ {
+			if math.Abs(m.At(i, j)*m.At(j, i)-1) > reciprocalTol {
+				return nil, fmt.Errorf("%w: a[%d][%d]*a[%d][%d] = %v",
+					ErrNotReciprocal, i, j, j, i, m.At(i, j)*m.At(j, i))
+			}
+		}
+	}
+	return &PairwiseMatrix{m: m}, nil
+}
+
+// FromUpperTriangle builds an n x n comparison matrix from the strictly
+// upper triangular judgments given in row-major order:
+// a[0][1], a[0][2], ..., a[0][n-1], a[1][2], ... Lower-triangle entries are
+// filled with reciprocals and the diagonal with ones. For n criteria,
+// n*(n-1)/2 judgments are required.
+func FromUpperTriangle(n int, judgments []float64) (*PairwiseMatrix, error) {
+	if n < 1 {
+		return nil, ErrTooSmall
+	}
+	want := n * (n - 1) / 2
+	if len(judgments) != want {
+		return nil, fmt.Errorf("ahp: got %d judgments for %d criteria, want %d", len(judgments), n, want)
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		rows[i][i] = 1
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := judgments[k]
+			k++
+			if v <= 0 {
+				return nil, fmt.Errorf("%w: judgment %d = %v", ErrNotPositive, k-1, v)
+			}
+			rows[i][j] = v
+			rows[j][i] = 1 / v
+		}
+	}
+	return NewPairwiseMatrix(rows)
+}
+
+// PaperExampleMatrix returns the paper's Table I example comparison matrix
+// for the three demand criteria (deadline, completing progress, number of
+// neighboring mobile users):
+//
+//	     C1   C2   C3
+//	C1 [  1    3    5 ]
+//	C2 [ 1/3   1    2 ]
+//	C3 [ 1/5  1/2   1 ]
+func PaperExampleMatrix() *PairwiseMatrix {
+	pm, err := NewPairwiseMatrix([][]float64{
+		{1, 3, 5},
+		{1.0 / 3, 1, 2},
+		{1.0 / 5, 1.0 / 2, 1},
+	})
+	if err != nil {
+		// The literal above is a valid reciprocal matrix; failure here is a
+		// programming error, not a runtime condition.
+		panic(fmt.Sprintf("ahp: paper example matrix invalid: %v", err))
+	}
+	return pm
+}
+
+// N returns the number of criteria.
+func (p *PairwiseMatrix) N() int { return p.m.Rows() }
+
+// At returns the judgment a[i][j].
+func (p *PairwiseMatrix) At(i, j int) float64 { return p.m.At(i, j) }
+
+// Matrix returns a copy of the underlying dense matrix.
+func (p *PairwiseMatrix) Matrix() *Dense { return p.m.Clone() }
+
+// Normalized returns the column-normalized comparison matrix (Table II of
+// the paper): each entry divided by its column sum.
+func (p *PairwiseMatrix) Normalized() *Dense {
+	norm, err := p.m.NormalizeColumns()
+	if err != nil {
+		// Column sums of a validated positive matrix are strictly positive.
+		panic(fmt.Sprintf("ahp: normalize validated matrix: %v", err))
+	}
+	return norm
+}
+
+// String renders the judgments for logs.
+func (p *PairwiseMatrix) String() string { return p.m.String() }

@@ -1,0 +1,143 @@
+package ahp
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewPairwiseMatrixValid(t *testing.T) {
+	pm, err := NewPairwiseMatrix([][]float64{
+		{1, 2},
+		{0.5, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.N() != 2 {
+		t.Errorf("N = %d, want 2", pm.N())
+	}
+	if pm.At(0, 1) != 2 {
+		t.Errorf("At(0,1) = %v, want 2", pm.At(0, 1))
+	}
+}
+
+func TestNewPairwiseMatrixRejections(t *testing.T) {
+	tests := []struct {
+		name    string
+		rows    [][]float64
+		wantErr error
+	}{
+		{"non-square", [][]float64{{1, 2}}, nil},
+		{"empty", [][]float64{}, ErrTooSmall},
+		{"zero entry", [][]float64{{1, 0}, {0, 1}}, ErrNotPositive},
+		{"negative entry", [][]float64{{1, -2}, {-0.5, 1}}, ErrNotPositive},
+		{"bad diagonal", [][]float64{{2, 1}, {1, 2}}, ErrNotReciprocal},
+		{"not reciprocal", [][]float64{{1, 2}, {2, 1}}, ErrNotReciprocal},
+		{"beyond saaty scale", [][]float64{{1, 10}, {0.1, 1}}, ErrBadScale},
+		{"nan", [][]float64{{1, math.NaN()}, {1, 1}}, ErrNotPositive},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewPairwiseMatrix(tt.rows)
+			if err == nil {
+				t.Fatal("invalid matrix accepted")
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Errorf("err = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFromUpperTriangle(t *testing.T) {
+	// Rebuild the paper's Table I matrix from its three upper judgments.
+	pm, err := FromUpperTriangle(3, []float64{3, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PaperExampleMatrix()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(pm.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Errorf("a[%d][%d] = %v, want %v", i, j, pm.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromUpperTriangleErrors(t *testing.T) {
+	if _, err := FromUpperTriangle(0, nil); !errors.Is(err, ErrTooSmall) {
+		t.Errorf("n=0 err = %v", err)
+	}
+	if _, err := FromUpperTriangle(3, []float64{1, 2}); err == nil {
+		t.Error("wrong judgment count accepted")
+	}
+	if _, err := FromUpperTriangle(2, []float64{-1}); !errors.Is(err, ErrNotPositive) {
+		t.Errorf("negative judgment err = %v", err)
+	}
+}
+
+func TestFromUpperTriangleSingleCriterion(t *testing.T) {
+	pm, err := FromUpperTriangle(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := pm.PaperWeights()
+	if len(w) != 1 || math.Abs(w[0]-1) > 1e-12 {
+		t.Errorf("weights = %v, want [1]", w)
+	}
+}
+
+// TestPaperTableI verifies the judgments quoted in the paper's Table I.
+func TestPaperTableI(t *testing.T) {
+	pm := PaperExampleMatrix()
+	if pm.At(0, 1) != 3 || pm.At(0, 2) != 5 || pm.At(1, 2) != 2 {
+		t.Error("Table I judgments wrong")
+	}
+	if pm.At(1, 0) != 1.0/3 || pm.At(2, 0) != 1.0/5 || pm.At(2, 1) != 0.5 {
+		t.Error("Table I reciprocals wrong")
+	}
+}
+
+// TestPaperTableII verifies the column-normalized matrix (Table II) and the
+// derived weight vector W = (0.648, 0.230, 0.122) quoted in Section IV-B.
+func TestPaperTableII(t *testing.T) {
+	pm := PaperExampleMatrix()
+	norm := pm.Normalized()
+	wantNorm := [][]float64{
+		{0.652, 0.667, 0.625},
+		{0.217, 0.222, 0.250},
+		{0.131, 0.111, 0.125},
+	}
+	for i := range wantNorm {
+		for j := range wantNorm[i] {
+			if math.Abs(norm.At(i, j)-wantNorm[i][j]) > 0.0015 {
+				t.Errorf("normalized[%d][%d] = %.4f, want %.3f", i, j, norm.At(i, j), wantNorm[i][j])
+			}
+		}
+	}
+	w := pm.PaperWeights()
+	wantW := []float64{0.648, 0.230, 0.122}
+	for i := range wantW {
+		if math.Abs(w[i]-wantW[i]) > 0.001 {
+			t.Errorf("w[%d] = %.4f, want %.3f", i, w[i], wantW[i])
+		}
+	}
+}
+
+func TestMatrixReturnsCopy(t *testing.T) {
+	pm := PaperExampleMatrix()
+	m := pm.Matrix()
+	m.Set(0, 1, 99)
+	if pm.At(0, 1) != 3 {
+		t.Error("Matrix() aliased internal state")
+	}
+}
+
+func TestPairwiseMatrixString(t *testing.T) {
+	if s := PaperExampleMatrix().String(); !strings.Contains(s, "3.0000") {
+		t.Errorf("String = %q", s)
+	}
+}

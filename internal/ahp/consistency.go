@@ -1,0 +1,56 @@
+package ahp
+
+import (
+	"fmt"
+
+	"paydemand/internal/matrix"
+)
+
+// randomIndex holds Saaty's random consistency index RI(n) for matrices of
+// order n (index = n). RI is the mean consistency index of randomly
+// generated reciprocal matrices; values per Saaty (1980).
+var randomIndex = [...]float64{
+	0, 0, 0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49,
+	1.51, 1.48, 1.56, 1.57, 1.59,
+}
+
+// DefaultCRThreshold is the conventional acceptance threshold for the
+// consistency ratio: judgments with CR <= 0.1 are considered consistent.
+const DefaultCRThreshold = 0.1
+
+// Consistency summarizes how self-consistent a judgment matrix is.
+type Consistency struct {
+	// LambdaMax is the dominant eigenvalue of the comparison matrix. For a
+	// perfectly consistent matrix LambdaMax == n.
+	LambdaMax float64 `json:"lambda_max"`
+	// Index is the consistency index CI = (LambdaMax - n) / (n - 1).
+	Index float64 `json:"index"`
+	// Ratio is the consistency ratio CR = CI / RI(n). For n <= 2 the ratio
+	// is defined as 0 (such matrices are always consistent).
+	Ratio float64 `json:"ratio"`
+}
+
+// Acceptable reports whether the consistency ratio is within the
+// conventional 0.1 threshold.
+func (c Consistency) Acceptable() bool { return c.Ratio <= DefaultCRThreshold }
+
+// Consistency computes the consistency statistics of the judgment matrix.
+// Matrices of order greater than 15 are rejected because no tabulated
+// random index is available.
+func (p *PairwiseMatrix) Consistency() (Consistency, error) {
+	n := p.N()
+	if n >= len(randomIndex) {
+		return Consistency{}, fmt.Errorf("ahp: no random index tabulated for n=%d", n)
+	}
+	lambda, _, err := matrix.PrincipalEigen(p.m, matrix.PowerIterationOptions{})
+	if err != nil {
+		return Consistency{}, fmt.Errorf("ahp: consistency: %w", err)
+	}
+	c := Consistency{LambdaMax: lambda}
+	if n <= 2 {
+		return c, nil
+	}
+	c.Index = (lambda - float64(n)) / float64(n-1)
+	c.Ratio = c.Index / randomIndex[n]
+	return c, nil
+}

@@ -1,0 +1,100 @@
+package ahp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConsistencyPaperMatrix(t *testing.T) {
+	pm := PaperExampleMatrix()
+	c, err := pm.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known values for this classic matrix: lambda_max ~ 3.0037,
+	// CI ~ 0.0018, CR ~ 0.0032 -- comfortably consistent.
+	if math.Abs(c.LambdaMax-3.0037) > 0.001 {
+		t.Errorf("LambdaMax = %v, want ~3.0037", c.LambdaMax)
+	}
+	if !c.Acceptable() {
+		t.Errorf("paper matrix flagged inconsistent: %+v", c)
+	}
+}
+
+func TestConsistencyPerfect(t *testing.T) {
+	// A perfectly consistent matrix has lambda_max = n and CI = CR = 0.
+	w := []float64{0.6, 0.25, 0.15}
+	rows := make([][]float64, 3)
+	for i := range rows {
+		rows[i] = make([]float64, 3)
+		for j := range rows[i] {
+			rows[i][j] = w[i] / w[j]
+		}
+	}
+	pm, err := NewPairwiseMatrix(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pm.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.LambdaMax-3) > 1e-6 || math.Abs(c.Index) > 1e-6 || math.Abs(c.Ratio) > 1e-5 {
+		t.Errorf("perfect matrix consistency = %+v", c)
+	}
+}
+
+func TestConsistencyInconsistentMatrix(t *testing.T) {
+	// Strongly intransitive judgments: C1 > C2 > C3 > C1.
+	pm, err := NewPairwiseMatrix([][]float64{
+		{1, 9, 1.0 / 9},
+		{1.0 / 9, 1, 9},
+		{9, 1.0 / 9, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pm.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Acceptable() {
+		t.Errorf("wildly intransitive matrix passed: %+v", c)
+	}
+	if c.Ratio < 1 {
+		t.Errorf("CR = %v, want >> 0.1", c.Ratio)
+	}
+}
+
+func TestConsistencyOrderTwoAlwaysConsistent(t *testing.T) {
+	pm, err := NewPairwiseMatrix([][]float64{{1, 7}, {1.0 / 7, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pm.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ratio != 0 || c.Index != 0 {
+		t.Errorf("2x2 consistency = %+v, want zero CI/CR", c)
+	}
+}
+
+func TestLambdaMaxAtLeastN(t *testing.T) {
+	// Saaty: lambda_max >= n for any positive reciprocal matrix.
+	pm, err := NewPairwiseMatrix([][]float64{
+		{1, 5, 1.0 / 3},
+		{1.0 / 5, 1, 1.0 / 7},
+		{3, 7, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pm.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LambdaMax < 3-1e-9 {
+		t.Errorf("LambdaMax = %v < n", c.LambdaMax)
+	}
+}

@@ -1,0 +1,76 @@
+package ahp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Hierarchy is a two-level AHP decision hierarchy: a goal, a set of
+// criteria compared pairwise against the goal, and a set of alternatives
+// scored under each criterion (Fig. 2 of the paper, where the goal is the
+// demand, the criteria are deadline / progress / neighbors, and the
+// alternatives are the sensing tasks).
+type Hierarchy struct {
+	// Criteria compares the criteria against the goal.
+	Criteria *PairwiseMatrix
+	// CriteriaNames optionally labels the criteria; if non-nil it must have
+	// one name per criterion.
+	CriteriaNames []string
+	// Method selects the weight-derivation method; zero value means
+	// ColumnNormalizedRowMean (the paper's choice).
+	Method WeightMethod
+}
+
+// ErrNilCriteria is returned when a Hierarchy has no criteria matrix.
+var ErrNilCriteria = errors.New("ahp: hierarchy has no criteria matrix")
+
+// method resolves the zero value to the paper's default.
+func (h *Hierarchy) method() WeightMethod {
+	if h.Method == 0 {
+		return ColumnNormalizedRowMean
+	}
+	return h.Method
+}
+
+// Validate checks the hierarchy's structural invariants.
+func (h *Hierarchy) Validate() error {
+	if h.Criteria == nil {
+		return ErrNilCriteria
+	}
+	if h.CriteriaNames != nil && len(h.CriteriaNames) != h.Criteria.N() {
+		return fmt.Errorf("ahp: %d criteria names for %d criteria",
+			len(h.CriteriaNames), h.Criteria.N())
+	}
+	return nil
+}
+
+// CriteriaWeights derives the criteria priority vector.
+func (h *Hierarchy) CriteriaWeights() ([]float64, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h.Criteria.Weights(h.method())
+}
+
+// Compose computes global alternative priorities. scores[i][c] is the score
+// of alternative i under criterion c; each alternative's global priority is
+// the weights-weighted sum of its per-criterion scores (Eq. 2 of the paper,
+// applied to every task at once).
+func (h *Hierarchy) Compose(scores [][]float64) ([]float64, error) {
+	w, err := h.CriteriaWeights()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(scores))
+	for i, row := range scores {
+		if len(row) != len(w) {
+			return nil, fmt.Errorf("ahp: alternative %d has %d scores, want %d", i, len(row), len(w))
+		}
+		var s float64
+		for c, x := range row {
+			s += w[c] * x
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package ahp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestHierarchyValidate(t *testing.T) {
+	h := &Hierarchy{}
+	if err := h.Validate(); !errors.Is(err, ErrNilCriteria) {
+		t.Errorf("nil criteria err = %v", err)
+	}
+	h = &Hierarchy{Criteria: PaperExampleMatrix(), CriteriaNames: []string{"a"}}
+	if err := h.Validate(); err == nil {
+		t.Error("mismatched names accepted")
+	}
+	h = &Hierarchy{
+		Criteria:      PaperExampleMatrix(),
+		CriteriaNames: []string{"deadline", "progress", "neighbors"},
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("valid hierarchy rejected: %v", err)
+	}
+}
+
+func TestHierarchyCriteriaWeightsDefaultsToPaperMethod(t *testing.T) {
+	h := &Hierarchy{Criteria: PaperExampleMatrix()}
+	w, err := h.CriteriaWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.648, 0.230, 0.122}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 0.001 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestHierarchyCompose(t *testing.T) {
+	h := &Hierarchy{Criteria: PaperExampleMatrix()}
+	w, err := h.CriteriaWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := [][]float64{
+		{1, 0, 0}, // alternative scoring only on criterion 1
+		{0, 1, 0},
+		{0.5, 0.5, 0.5},
+	}
+	got, err := h.Compose(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-w[0]) > 1e-12 || math.Abs(got[1]-w[1]) > 1e-12 {
+		t.Errorf("Compose = %v, want first two equal to weights %v", got, w)
+	}
+	if math.Abs(got[2]-0.5) > 1e-9 {
+		t.Errorf("uniform alternative = %v, want 0.5", got[2])
+	}
+}
+
+func TestHierarchyComposeRaggedScores(t *testing.T) {
+	h := &Hierarchy{Criteria: PaperExampleMatrix()}
+	if _, err := h.Compose([][]float64{{1, 2}}); err == nil {
+		t.Error("ragged scores accepted")
+	}
+}
+
+func TestHierarchyComposeEmptyAlternatives(t *testing.T) {
+	h := &Hierarchy{Criteria: PaperExampleMatrix()}
+	got, err := h.Compose(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("Compose(nil) = %v", got)
+	}
+}
+
+func TestHierarchyExplicitMethod(t *testing.T) {
+	h := &Hierarchy{Criteria: PaperExampleMatrix(), Method: GeometricMean}
+	w, err := h.CriteriaWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 3 {
+		t.Fatalf("weights = %v", w)
+	}
+	if math.Abs(w[0]+w[1]+w[2]-1) > 1e-9 {
+		t.Errorf("weights sum = %v", w[0]+w[1]+w[2])
+	}
+}

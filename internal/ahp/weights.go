@@ -1,0 +1,90 @@
+package ahp
+
+import (
+	"fmt"
+	"math"
+
+	"paydemand/internal/matrix"
+)
+
+// WeightMethod selects how a priority vector is derived from a pairwise
+// comparison matrix.
+type WeightMethod int
+
+// Supported weight-derivation methods.
+const (
+	// ColumnNormalizedRowMean is the method the paper uses (Eq. 6): average
+	// the rows of the column-normalized matrix. Also known as the
+	// "approximate" or "normalized columns" method.
+	ColumnNormalizedRowMean WeightMethod = iota + 1
+	// Eigenvector is Saaty's original method: the normalized principal
+	// right eigenvector of the comparison matrix.
+	Eigenvector
+	// GeometricMean derives weights from the normalized geometric means of
+	// the rows (the logarithmic least squares estimator).
+	GeometricMean
+)
+
+// String implements fmt.Stringer.
+func (m WeightMethod) String() string {
+	switch m {
+	case ColumnNormalizedRowMean:
+		return "column-normalized-row-mean"
+	case Eigenvector:
+		return "eigenvector"
+	case GeometricMean:
+		return "geometric-mean"
+	default:
+		return fmt.Sprintf("WeightMethod(%d)", int(m))
+	}
+}
+
+// Weights derives the priority vector with the given method. The result is
+// positive and sums to 1.
+func (p *PairwiseMatrix) Weights(method WeightMethod) ([]float64, error) {
+	switch method {
+	case ColumnNormalizedRowMean:
+		return p.weightsRowMean(), nil
+	case Eigenvector:
+		return p.weightsEigen()
+	case GeometricMean:
+		return p.weightsGeoMean()
+	default:
+		return nil, fmt.Errorf("ahp: unknown weight method %v", method)
+	}
+}
+
+// PaperWeights derives the priority vector exactly as the paper does
+// (Eq. 6): column-normalize, then average each row.
+func (p *PairwiseMatrix) PaperWeights() []float64 {
+	return p.weightsRowMean()
+}
+
+func (p *PairwiseMatrix) weightsRowMean() []float64 {
+	return p.Normalized().RowMeans()
+}
+
+func (p *PairwiseMatrix) weightsEigen() ([]float64, error) {
+	_, vec, err := matrix.PrincipalEigen(p.m, matrix.PowerIterationOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("ahp: eigenvector method: %w", err)
+	}
+	return vec, nil
+}
+
+func (p *PairwiseMatrix) weightsGeoMean() ([]float64, error) {
+	n := p.N()
+	gm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		logSum := 0.0
+		for j := 0; j < n; j++ {
+			logSum += math.Log(p.m.At(i, j))
+		}
+		gm[i] = math.Exp(logSum / float64(n))
+	}
+	w, err := matrix.VecNormalizeSum(gm)
+	if err != nil {
+		return nil, fmt.Errorf("ahp: geometric-mean method: %w", err)
+	}
+	return w, nil
+}

@@ -1,0 +1,116 @@
+package ahp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomReciprocal builds a random valid comparison matrix of order n.
+func randomReciprocal(rng *rand.Rand, n int) *PairwiseMatrix {
+	judgments := make([]float64, n*(n-1)/2)
+	for i := range judgments {
+		// Random Saaty judgment in [1/9, 9].
+		v := float64(1 + rng.Intn(9))
+		if rng.Intn(2) == 0 {
+			v = 1 / v
+		}
+		judgments[i] = v
+	}
+	pm, err := FromUpperTriangle(n, judgments)
+	if err != nil {
+		panic(err)
+	}
+	return pm
+}
+
+func TestWeightsAllMethodsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	methods := []WeightMethod{ColumnNormalizedRowMean, Eigenvector, GeometricMean}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		pm := randomReciprocal(rng, n)
+		for _, m := range methods {
+			w, err := pm.Weights(m)
+			if err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			if len(w) != n {
+				t.Fatalf("%v: len = %d, want %d", m, len(w), n)
+			}
+			sum := 0.0
+			for _, x := range w {
+				if x <= 0 {
+					t.Fatalf("%v: non-positive weight %v", m, x)
+				}
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%v: weights sum to %v", m, sum)
+			}
+		}
+	}
+}
+
+// TestWeightsAgreeOnConsistentMatrix: when the matrix is perfectly
+// consistent (a[i][j] = w_i/w_j) every derivation method must recover the
+// same weights exactly.
+func TestWeightsAgreeOnConsistentMatrix(t *testing.T) {
+	w := []float64{0.5, 0.3, 0.2}
+	rows := make([][]float64, 3)
+	for i := range rows {
+		rows[i] = make([]float64, 3)
+		for j := range rows[i] {
+			rows[i][j] = w[i] / w[j]
+		}
+	}
+	pm, err := NewPairwiseMatrix(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []WeightMethod{ColumnNormalizedRowMean, Eigenvector, GeometricMean} {
+		got, err := pm.Weights(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for i := range w {
+			if math.Abs(got[i]-w[i]) > 1e-6 {
+				t.Errorf("%v: w[%d] = %v, want %v", m, i, got[i], w[i])
+			}
+		}
+	}
+}
+
+func TestWeightsOrderingMatchesDominance(t *testing.T) {
+	// C1 dominates C2 dominates C3, so weights must be strictly decreasing.
+	pm := PaperExampleMatrix()
+	for _, m := range []WeightMethod{ColumnNormalizedRowMean, Eigenvector, GeometricMean} {
+		w, err := pm.Weights(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !(w[0] > w[1] && w[1] > w[2]) {
+			t.Errorf("%v: weights not decreasing: %v", m, w)
+		}
+	}
+}
+
+func TestWeightsUnknownMethod(t *testing.T) {
+	if _, err := PaperExampleMatrix().Weights(WeightMethod(99)); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestWeightMethodString(t *testing.T) {
+	tests := map[WeightMethod]string{
+		ColumnNormalizedRowMean: "column-normalized-row-mean",
+		Eigenvector:             "eigenvector",
+		GeometricMean:           "geometric-mean",
+		WeightMethod(42):        "WeightMethod(42)",
+	}
+	for m, want := range tests {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(m), got, want)
+		}
+	}
+}

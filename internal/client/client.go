@@ -1,0 +1,147 @@
+// Package client implements the worker side of the platform HTTP protocol:
+// a thin typed Client over the wire endpoints and a Worker that runs the
+// full WST loop (fetch round, select tasks locally, sense, upload).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/task"
+	"paydemand/internal/wire"
+)
+
+// Client calls the platform's HTTP API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New creates a client for the platform at baseURL (e.g.
+// "http://localhost:8080"). httpClient may be nil for a default with a
+// 10-second timeout.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// Register announces a worker at loc and returns its assigned ID.
+func (c *Client) Register(ctx context.Context, loc geo.Point) (int, error) {
+	var resp wire.RegisterResponse
+	err := c.post(ctx, wire.PathRegister, wire.RegisterRequest{Location: loc}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	return resp.UserID, nil
+}
+
+// Round fetches the currently published round.
+func (c *Client) Round(ctx context.Context) (wire.RoundInfo, error) {
+	var resp wire.RoundInfo
+	err := c.get(ctx, wire.PathRound, &resp)
+	return resp, err
+}
+
+// Submit uploads measurements for the given round.
+func (c *Client) Submit(ctx context.Context, req wire.SubmitRequest) (wire.SubmitResponse, error) {
+	var resp wire.SubmitResponse
+	err := c.post(ctx, wire.PathSubmit, req, &resp)
+	return resp, err
+}
+
+// Advance asks the platform to move to the next round (operator action).
+func (c *Client) Advance(ctx context.Context) (wire.AdvanceResponse, error) {
+	var resp wire.AdvanceResponse
+	err := c.post(ctx, wire.PathAdvance, struct{}{}, &resp)
+	return resp, err
+}
+
+// Status fetches the platform's metric snapshot.
+func (c *Client) Status(ctx context.Context) (wire.StatusResponse, error) {
+	var resp wire.StatusResponse
+	err := c.get(ctx, wire.PathStatus, &resp)
+	return resp, err
+}
+
+// Estimate fetches the platform's aggregated estimate for one task.
+func (c *Client) Estimate(ctx context.Context, id task.ID) (wire.EstimateResponse, error) {
+	var resp wire.EstimateResponse
+	err := c.get(ctx, fmt.Sprintf("%s?task=%d", wire.PathEstimate, id), &resp)
+	return resp, err
+}
+
+// Reputation fetches a worker's sensing-quality score. The platform must
+// have reputation tracking enabled.
+func (c *Client) Reputation(ctx context.Context, userID int) (wire.ReputationResponse, error) {
+	var resp wire.ReputationResponse
+	err := c.get(ctx, fmt.Sprintf("%s?user=%d", wire.PathReputation, userID), &resp)
+	return resp, err
+}
+
+// APIError is a non-2xx platform response.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the platform's error string.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("platform returned %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: marshal request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr wire.Error
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Message != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: apiErr.Message}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: string(body)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}

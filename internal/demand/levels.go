@@ -1,0 +1,56 @@
+package demand
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultLevels is the number of demand levels in the paper's evaluation
+// (Table III).
+const DefaultLevels = 5
+
+// LevelMapper maps normalized demands in [0, 1] onto 1-based discrete
+// demand levels with equal-width bins, as in Table III: with N = 5,
+// [0, 0.2] -> 1, (0.2, 0.4] -> 2, ..., (0.8, 1.0] -> 5.
+type LevelMapper struct {
+	// N is the number of levels; must be >= 1.
+	N int `json:"n"`
+}
+
+// Validate checks the mapper.
+func (m LevelMapper) Validate() error {
+	if m.N < 1 {
+		return fmt.Errorf("demand: level count %d, want >= 1", m.N)
+	}
+	return nil
+}
+
+// Level maps a normalized demand to its level. Inputs are clamped into
+// [0, 1]. Bin edges belong to the lower level, matching Table III's
+// half-open intervals ((0.2, 0.4] is level 2).
+func (m LevelMapper) Level(normalized float64) int {
+	if normalized <= 0 {
+		return 1
+	}
+	if normalized > 1 {
+		normalized = 1
+	}
+	lvl := int(math.Ceil(normalized * float64(m.N)))
+	if lvl < 1 {
+		lvl = 1
+	}
+	if lvl > m.N {
+		lvl = m.N
+	}
+	return lvl
+}
+
+// Bounds returns the half-open demand interval (lo, hi] mapped to the given
+// level; level 1's interval is the closed [0, hi]. It panics if level is
+// out of range, which indicates a programming error.
+func (m LevelMapper) Bounds(level int) (lo, hi float64) {
+	if level < 1 || level > m.N {
+		panic(fmt.Sprintf("demand: level %d out of range 1..%d", level, m.N))
+	}
+	return float64(level-1) / float64(m.N), float64(level) / float64(m.N)
+}

@@ -1,0 +1,119 @@
+package demand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperTableIII reproduces the paper's Table III mapping for N = 5.
+func TestPaperTableIII(t *testing.T) {
+	m := LevelMapper{N: 5}
+	tests := []struct {
+		d    float64
+		want int
+	}{
+		{0, 1}, {0.1, 1}, {0.2, 1},
+		{0.2000001, 2}, {0.3, 2}, {0.4, 2},
+		{0.5, 3}, {0.6, 3},
+		{0.7, 4}, {0.8, 4},
+		{0.8000001, 5}, {0.9, 5}, {1.0, 5},
+	}
+	for _, tt := range tests {
+		if got := m.Level(tt.d); got != tt.want {
+			t.Errorf("Level(%v) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestLevelClampsOutOfRange(t *testing.T) {
+	m := LevelMapper{N: 5}
+	if got := m.Level(-0.5); got != 1 {
+		t.Errorf("Level(-0.5) = %d", got)
+	}
+	if got := m.Level(1.5); got != 5 {
+		t.Errorf("Level(1.5) = %d", got)
+	}
+}
+
+func TestLevelSingleLevel(t *testing.T) {
+	m := LevelMapper{N: 1}
+	for _, d := range []float64{0, 0.5, 1} {
+		if got := m.Level(d); got != 1 {
+			t.Errorf("Level(%v) = %d, want 1", d, got)
+		}
+	}
+}
+
+func TestLevelMapperValidate(t *testing.T) {
+	if err := (LevelMapper{N: 0}).Validate(); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if err := (LevelMapper{N: 5}).Validate(); err != nil {
+		t.Errorf("N=5 rejected: %v", err)
+	}
+}
+
+func TestLevelInRangeProperty(t *testing.T) {
+	f := func(dRaw uint16, nRaw uint8) bool {
+		n := 1 + int(nRaw)%20
+		m := LevelMapper{N: n}
+		d := float64(dRaw) / 65535.0
+		lvl := m.Level(d)
+		return lvl >= 1 && lvl <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelMonotoneProperty(t *testing.T) {
+	m := LevelMapper{N: 7}
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw) / 65535.0
+		b := float64(bRaw) / 65535.0
+		if a > b {
+			a, b = b, a
+		}
+		return m.Level(a) <= m.Level(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	m := LevelMapper{N: 5}
+	lo, hi := m.Bounds(2)
+	if lo != 0.2 || hi != 0.4 {
+		t.Errorf("Bounds(2) = (%v, %v)", lo, hi)
+	}
+	lo, hi = m.Bounds(1)
+	if lo != 0 || hi != 0.2 {
+		t.Errorf("Bounds(1) = (%v, %v)", lo, hi)
+	}
+}
+
+func TestBoundsConsistentWithLevel(t *testing.T) {
+	m := LevelMapper{N: 5}
+	for lvl := 1; lvl <= 5; lvl++ {
+		lo, hi := m.Bounds(lvl)
+		// A value just below the upper edge and just above the lower edge
+		// must land in this level (exact edges are float-representation
+		// sensitive, so probe with an epsilon).
+		if got := m.Level(hi - 1e-9); got != lvl {
+			t.Errorf("Level(hi-eps=%v) = %d, want %d", hi-1e-9, got, lvl)
+		}
+		if got := m.Level(lo + 1e-9); got != lvl {
+			t.Errorf("Level(lo+eps=%v) = %d, want %d", lo+1e-9, got, lvl)
+		}
+	}
+}
+
+func TestBoundsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bounds(0) did not panic")
+		}
+	}()
+	LevelMapper{N: 5}.Bounds(0)
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"paydemand/internal/metrics"
+	"paydemand/internal/sim"
+)
+
+// Ablation experiments beyond the paper's figures: they probe the design
+// choices DESIGN.md section 7 calls out. Each reuses the sweep machinery
+// with a different set of mechanism or configuration variants.
+
+// ablationSweep runs one metric over the user sweep for a list of named
+// configurations.
+func ablationSweep(opts Options, variants []namedConfig, pick func(metrics.Summary) float64) ([]Series, error) {
+	opts = opts.withDefaults()
+	series := make([]Series, len(variants))
+	for vi, v := range variants {
+		s := Series{Name: v.name}
+		for ui, users := range opts.UserSweep {
+			var agg metrics.Aggregator
+			for trial := 0; trial < opts.Trials; trial++ {
+				cfg := v.cfg
+				cfg.Workload.NumUsers = users
+				res, err := sim.Run(cfg, trialSeed(opts.Seed, 5000+vi*100+ui, trial))
+				if err != nil {
+					return nil, fmt.Errorf("%s users=%d trial=%d: %w", v.name, users, trial, err)
+				}
+				agg.Add(res)
+			}
+			s.X = append(s.X, float64(users))
+			s.Y = append(s.Y, pick(agg.Summary()))
+		}
+		series[vi] = s
+	}
+	return series, nil
+}
+
+type namedConfig struct {
+	name string
+	cfg  sim.Config
+}
+
+// withMechanism builds a variant of the base options config.
+func withMechanism(opts Options, mech sim.MechanismKind) sim.Config {
+	cfg := opts.Base
+	cfg.Mechanism = mech
+	return cfg
+}
+
+// AblationWeights compares the AHP-derived demand weights against equal
+// weights and the three single-factor demands, on overall completeness.
+func AblationWeights(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	variants := []namedConfig{
+		{"ahp", withMechanism(opts, sim.MechanismOnDemand)},
+		{"equal", withMechanism(opts, sim.MechanismEqualWeights)},
+		{"deadline-only", withMechanism(opts, sim.MechanismDeadlineOnly)},
+		{"progress-only", withMechanism(opts, sim.MechanismProgressOnly)},
+		{"neighbors-only", withMechanism(opts, sim.MechanismNeighborsOnly)},
+	}
+	series, err := ablationSweep(opts, variants, func(s metrics.Summary) float64 {
+		return s.OverallCompleteness * 100
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "ablation-weights",
+		Title:  "Demand weighting ablation: overall completeness",
+		XLabel: "number of users",
+		YLabel: "overall completeness (%)",
+		Series: series,
+		Notes:  "ahp = the paper's Table I weights; others replace the weight vector only.",
+	}, nil
+}
+
+// AblationLevels sweeps the demand-level count N of Table III, rescaling
+// lambda to keep the Eq. 9 budget constraint satisfiable.
+func AblationLevels(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	var variants []namedConfig
+	for _, n := range []int{1, 2, 5, 10, 20} {
+		cfg := opts.Base
+		cfg.Mechanism = sim.MechanismOnDemand
+		cfg.DemandLevels = n
+		cfg.RewardLambda = 2.0 / float64(n)
+		variants = append(variants, namedConfig{fmt.Sprintf("N=%d", n), cfg})
+	}
+	series, err := ablationSweep(opts, variants, func(s metrics.Summary) float64 {
+		return s.OverallCompleteness * 100
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "ablation-levels",
+		Title:  "Demand-level granularity ablation: overall completeness",
+		XLabel: "number of users",
+		YLabel: "overall completeness (%)",
+		Series: series,
+		Notes:  "lambda rescaled as 2/N so r0 from Eq. 9 stays positive at B = 1000.",
+	}, nil
+}
+
+// AblationBudget sweeps the per-round user time budget the paper never
+// states (DESIGN.md assumption 2).
+func AblationBudget(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	var variants []namedConfig
+	for _, budget := range []float64{150, 300, 600, 1200} {
+		cfg := opts.Base
+		cfg.Mechanism = sim.MechanismOnDemand
+		cfg.UserTimeBudget = budget
+		variants = append(variants, namedConfig{fmt.Sprintf("%.0fs", budget), cfg})
+	}
+	series, err := ablationSweep(opts, variants, func(s metrics.Summary) float64 {
+		return s.OverallCompleteness * 100
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "ablation-budget",
+		Title:  "Per-round time budget sensitivity: overall completeness",
+		XLabel: "number of users",
+		YLabel: "overall completeness (%)",
+		Series: series,
+		Notes:  "600 s is this implementation's default (DESIGN.md section 4).",
+	}, nil
+}
+
+// AblationSensing lifts the paper's negligible-sensing-time assumption:
+// each measurement consumes the given on-site seconds out of the user's
+// round budget.
+func AblationSensing(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	var variants []namedConfig
+	for _, sensing := range []float64{0, 30, 60, 120} {
+		cfg := opts.Base
+		cfg.Mechanism = sim.MechanismOnDemand
+		cfg.SensingTime = sensing
+		variants = append(variants, namedConfig{fmt.Sprintf("%.0fs/meas", sensing), cfg})
+	}
+	series, err := ablationSweep(opts, variants, func(s metrics.Summary) float64 {
+		return s.OverallCompleteness * 100
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "ablation-sensing",
+		Title:  "Sensing-time sensitivity: overall completeness",
+		XLabel: "number of users",
+		YLabel: "overall completeness (%)",
+		Series: series,
+		Notes:  "0 s is the paper's assumption (Section III-C: sensing time negligible next to travel).",
+	}, nil
+}
+
+// AblationMobility compares the between-round user movement models, an
+// extension beyond the paper's stationary population.
+func AblationMobility(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	var variants []namedConfig
+	for _, mob := range []sim.MobilityKind{
+		sim.MobilityStationary, sim.MobilityRandomWaypoint, sim.MobilityLevyWalk,
+	} {
+		cfg := opts.Base
+		cfg.Mechanism = sim.MechanismOnDemand
+		cfg.Mobility = mob
+		variants = append(variants, namedConfig{mob.String(), cfg})
+	}
+	series, err := ablationSweep(opts, variants, func(s metrics.Summary) float64 {
+		return s.OverallCompleteness * 100
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "ablation-mobility",
+		Title:  "Mobility model ablation: overall completeness",
+		XLabel: "number of users",
+		YLabel: "overall completeness (%)",
+		Series: series,
+		Notes:  "Mobile users redistribute between rounds with their idle time, changing each task's neighboring-user counts.",
+	}, nil
+}
+
+// AblationChurn probes robustness to population churn, an extension
+// beyond the paper's fixed population.
+func AblationChurn(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	var variants []namedConfig
+	for _, churn := range []float64{0, 0.1, 0.3, 0.5} {
+		cfg := opts.Base
+		cfg.Mechanism = sim.MechanismOnDemand
+		cfg.ChurnRate = churn
+		variants = append(variants, namedConfig{fmt.Sprintf("churn=%.0f%%", churn*100), cfg})
+	}
+	series, err := ablationSweep(opts, variants, func(s metrics.Summary) float64 {
+		return s.OverallCompleteness * 100
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "ablation-churn",
+		Title:  "Population churn robustness: overall completeness",
+		XLabel: "number of users",
+		YLabel: "overall completeness (%)",
+		Series: series,
+		Notes:  "Each round the given fraction of users departs and is replaced by fresh users with no contribution history.",
+	}, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"paydemand/internal/ahp"
+	"paydemand/internal/demand"
+)
+
+// TableI reproduces the paper's Table I: the example pairwise comparison
+// matrix over the three demand criteria. The "series" are the matrix rows.
+func TableI(Options) (Figure, error) {
+	pm := ahp.PaperExampleMatrix()
+	return matrixFigure("table1",
+		"Pairwise comparison matrix A over the demand criteria", pm.Matrix().Row, pm.N()), nil
+}
+
+// TableII reproduces Table II: the column-normalized matrix and, as an
+// extra series, the derived weight vector W = (0.648, 0.230, 0.122).
+func TableII(Options) (Figure, error) {
+	pm := ahp.PaperExampleMatrix()
+	norm := pm.Normalized()
+	f := matrixFigure("table2",
+		"Column-normalized comparison matrix and derived weights", norm.Row, pm.N())
+	w := pm.PaperWeights()
+	f.Series = append(f.Series, Series{
+		Name: "W (row mean)",
+		X:    []float64{1, 2, 3},
+		Y:    w,
+	})
+	cons, err := pm.Consistency()
+	if err != nil {
+		return Figure{}, err
+	}
+	f.Notes = "Paper: W = (0.648, 0.230, 0.122). Consistency ratio computed additionally: " +
+		formatNum(cons.Ratio)
+	return f, nil
+}
+
+// matrixFigure renders an n x n matrix as one series per row.
+func matrixFigure(id, title string, row func(int) []float64, n int) Figure {
+	f := Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "criterion (column)",
+		YLabel: "judgment",
+	}
+	names := []string{"C1 (deadline)", "C2 (progress)", "C3 (neighbors)"}
+	for i := 0; i < n; i++ {
+		name := names[i%len(names)]
+		xs := make([]float64, n)
+		for j := range xs {
+			xs[j] = float64(j + 1)
+		}
+		f.Series = append(f.Series, Series{Name: name, X: xs, Y: row(i)})
+	}
+	return f
+}
+
+// TableIII reproduces Table III: the demand-level intervals for N = 5.
+func TableIII(Options) (Figure, error) {
+	m := demand.LevelMapper{N: demand.DefaultLevels}
+	f := Figure{
+		ID:     "table3",
+		Title:  "Demand levels (N = 5)",
+		XLabel: "level",
+		YLabel: "normalized demand bounds",
+	}
+	var lows, highs, levels []float64
+	for lvl := 1; lvl <= m.N; lvl++ {
+		lo, hi := m.Bounds(lvl)
+		levels = append(levels, float64(lvl))
+		lows = append(lows, lo)
+		highs = append(highs, hi)
+	}
+	f.Series = []Series{
+		{Name: "lower bound", X: levels, Y: lows},
+		{Name: "upper bound", X: levels, Y: highs},
+	}
+	return f, nil
+}

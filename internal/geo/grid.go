@@ -1,0 +1,171 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// GridIndex is a uniform-grid spatial index over points in a bounded area.
+// It supports efficient radius queries, which the incentive mechanism uses
+// every round to count the neighboring mobile users of each task (the users
+// within R meters of the task location, Section IV of the paper).
+//
+// The zero value is not usable; construct with NewGridIndex. GridIndex is
+// not safe for concurrent mutation; concurrent read-only queries are safe.
+type GridIndex struct {
+	bounds   Rect
+	cellSize float64
+	cols     int
+	rows     int
+	cells    [][]int // cell -> indices into pts
+	pts      []Point
+}
+
+// NewGridIndex builds an index over the given points within bounds. cellSize
+// is the side length of each grid cell in meters; a good choice is the query
+// radius. Points outside bounds are clamped into it for bucketing purposes
+// (queries remain exact because candidate distances are always re-checked).
+func NewGridIndex(bounds Rect, cellSize float64, pts []Point) (*GridIndex, error) {
+	if !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("geo: invalid bounds %v", bounds)
+	}
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("geo: invalid cell size %v", cellSize)
+	}
+	g := &GridIndex{
+		bounds:   bounds,
+		cellSize: cellSize,
+		cols:     int(math.Ceil(bounds.Width()/cellSize)) + 1,
+		rows:     int(math.Ceil(bounds.Height()/cellSize)) + 1,
+		pts:      make([]Point, len(pts)),
+	}
+	copy(g.pts, pts)
+	g.cells = make([][]int, g.cols*g.rows)
+	for i, p := range g.pts {
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], i)
+	}
+	return g, nil
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.pts) }
+
+// cellOf maps a point to its cell slot, clamping out-of-bounds points.
+func (g *GridIndex) cellOf(p Point) int {
+	p = g.bounds.Clamp(p)
+	col := int((p.X - g.bounds.Min.X) / g.cellSize)
+	row := int((p.Y - g.bounds.Min.Y) / g.cellSize)
+	if col >= g.cols {
+		col = g.cols - 1
+	}
+	if row >= g.rows {
+		row = g.rows - 1
+	}
+	return row*g.cols + col
+}
+
+// CountWithin returns the number of indexed points strictly within radius r
+// of center. The paper defines a neighboring user as one whose distance to a
+// task is less than R, hence the strict inequality.
+func (g *GridIndex) CountWithin(center Point, r float64) int {
+	count := 0
+	g.forEachCandidate(center, r, func(i int) {
+		if g.pts[i].Dist(center) < r {
+			count++
+		}
+	})
+	return count
+}
+
+// Within returns the indices (into the original point slice) of all points
+// strictly within radius r of center, in unspecified order.
+func (g *GridIndex) Within(center Point, r float64) []int {
+	var out []int
+	g.forEachCandidate(center, r, func(i int) {
+		if g.pts[i].Dist(center) < r {
+			out = append(out, i)
+		}
+	})
+	return out
+}
+
+// Nearest returns the index of the indexed point nearest to center and its
+// distance. ok is false if the index is empty.
+func (g *GridIndex) Nearest(center Point) (idx int, dist float64, ok bool) {
+	if len(g.pts) == 0 {
+		return 0, 0, false
+	}
+	// Expand ring by ring until a hit is found, then one more ring to be
+	// exact (a nearer point may live in an adjacent ring). The search
+	// radius must reach the far corner of the grid even when the query
+	// point lies outside the bounds.
+	best := -1
+	bestD := math.Inf(1)
+	maxR := g.bounds.Diagonal() + center.Dist(g.bounds.Clamp(center)) + 2*g.cellSize
+	for r := g.cellSize; ; r += g.cellSize {
+		g.forEachCandidate(center, r, func(i int) {
+			if d := g.pts[i].Dist(center); d < bestD {
+				bestD = d
+				best = i
+			}
+		})
+		if best >= 0 && bestD <= r {
+			return best, bestD, true
+		}
+		if r > maxR {
+			// Everything has been scanned.
+			if best < 0 {
+				return 0, 0, false
+			}
+			return best, bestD, true
+		}
+	}
+}
+
+// forEachCandidate invokes fn for every point index in cells overlapping the
+// disk of radius r around center. Points may be reported that are outside
+// the disk; callers must re-check distances.
+func (g *GridIndex) forEachCandidate(center Point, r float64, fn func(i int)) {
+	minCol := int(math.Floor((center.X - r - g.bounds.Min.X) / g.cellSize))
+	maxCol := int(math.Floor((center.X + r - g.bounds.Min.X) / g.cellSize))
+	minRow := int(math.Floor((center.Y - r - g.bounds.Min.Y) / g.cellSize))
+	maxRow := int(math.Floor((center.Y + r - g.bounds.Min.Y) / g.cellSize))
+	// Clamp into the grid on both ends: out-of-bounds points are bucketed in
+	// edge cells, so even a disk entirely outside the grid must scan the
+	// nearest edge cells. The distance re-check keeps results exact.
+	minCol = clampInt(minCol, 0, g.cols-1)
+	maxCol = clampInt(maxCol, 0, g.cols-1)
+	minRow = clampInt(minRow, 0, g.rows-1)
+	maxRow = clampInt(maxRow, 0, g.rows-1)
+	for row := minRow; row <= maxRow; row++ {
+		for col := minCol; col <= maxCol; col++ {
+			for _, i := range g.cells[row*g.cols+col] {
+				fn(i)
+			}
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CountWithinBrute is the O(n) reference implementation of CountWithin, used
+// by tests and available for tiny inputs where building an index would cost
+// more than it saves.
+func CountWithinBrute(pts []Point, center Point, r float64) int {
+	count := 0
+	for _, p := range pts {
+		if p.Dist(center) < r {
+			count++
+		}
+	}
+	return count
+}

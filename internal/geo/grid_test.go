@@ -1,0 +1,197 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomPoints(rng *rand.Rand, n int, bounds Rect) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(
+			bounds.Min.X+rng.Float64()*bounds.Width(),
+			bounds.Min.Y+rng.Float64()*bounds.Height(),
+		)
+	}
+	return pts
+}
+
+func TestNewGridIndexRejectsBadInput(t *testing.T) {
+	if _, err := NewGridIndex(Rect{Min: Pt(1, 1), Max: Pt(0, 0)}, 10, nil); err == nil {
+		t.Error("invalid bounds accepted")
+	}
+	if _, err := NewGridIndex(Square(100), 0, nil); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	if _, err := NewGridIndex(Square(100), -5, nil); err == nil {
+		t.Error("negative cell size accepted")
+	}
+}
+
+func TestGridIndexCountWithinMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bounds := Square(3000)
+	pts := randomPoints(rng, 500, bounds)
+	g, err := NewGridIndex(bounds, 500, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		center := Pt(rng.Float64()*3000, rng.Float64()*3000)
+		r := rng.Float64() * 1000
+		got := g.CountWithin(center, r)
+		want := CountWithinBrute(pts, center, r)
+		if got != want {
+			t.Fatalf("CountWithin(%v, %v) = %d, want %d", center, r, got, want)
+		}
+	}
+}
+
+func TestGridIndexCountWithinStrictBoundary(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(10, 0)}
+	g, err := NewGridIndex(Square(100), 10, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point at distance exactly 10 must NOT count (paper: distance < R).
+	if got := g.CountWithin(Pt(0, 0), 10); got != 1 {
+		t.Errorf("CountWithin strict boundary = %d, want 1", got)
+	}
+	if got := g.CountWithin(Pt(0, 0), 10.001); got != 2 {
+		t.Errorf("CountWithin just past boundary = %d, want 2", got)
+	}
+}
+
+func TestGridIndexWithin(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(50, 50), Pt(2, 2)}
+	g, err := NewGridIndex(Square(100), 25, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Within(Pt(0, 0), 5)
+	if len(got) != 2 {
+		t.Fatalf("Within = %v, want 2 hits", got)
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		seen[i] = true
+	}
+	if !seen[0] || !seen[2] {
+		t.Errorf("Within = %v, want indices 0 and 2", got)
+	}
+}
+
+func TestGridIndexPointsOutsideBounds(t *testing.T) {
+	// Points outside the declared bounds must still be findable.
+	pts := []Point{Pt(-50, -50), Pt(150, 150)}
+	g, err := NewGridIndex(Square(100), 20, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CountWithin(Pt(-50, -50), 1); got != 1 {
+		t.Errorf("outside point not found: %d", got)
+	}
+	if got := g.CountWithin(Pt(0, 0), 1000); got != 2 {
+		t.Errorf("CountWithin big radius = %d, want 2", got)
+	}
+}
+
+func TestGridIndexNearest(t *testing.T) {
+	pts := []Point{Pt(10, 10), Pt(90, 90), Pt(40, 40)}
+	g, err := NewGridIndex(Square(100), 10, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, dist, ok := g.Nearest(Pt(35, 35))
+	if !ok || idx != 2 {
+		t.Fatalf("Nearest = %d, %v, %v; want idx 2", idx, dist, ok)
+	}
+}
+
+func TestGridIndexNearestMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bounds := Square(1000)
+	pts := randomPoints(rng, 200, bounds)
+	g, err := NewGridIndex(bounds, 50, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := Pt(rng.Float64()*1000, rng.Float64()*1000)
+		idx, dist, ok := g.Nearest(q)
+		if !ok {
+			t.Fatal("Nearest reported empty index")
+		}
+		bestD := -1.0
+		for _, p := range pts {
+			if d := p.Dist(q); bestD < 0 || d < bestD {
+				bestD = d
+			}
+		}
+		if dist != bestD {
+			t.Fatalf("Nearest dist = %v (idx %d), brute = %v", dist, idx, bestD)
+		}
+	}
+}
+
+func TestGridIndexNearestEmpty(t *testing.T) {
+	g, err := NewGridIndex(Square(100), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := g.Nearest(Pt(5, 5)); ok {
+		t.Error("Nearest on empty index reported ok")
+	}
+}
+
+func TestGridIndexLen(t *testing.T) {
+	g, err := NewGridIndex(Square(100), 10, []Point{Pt(1, 1), Pt(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d, want 2", g.Len())
+	}
+}
+
+func TestGridIndexNearestFromOutsideBounds(t *testing.T) {
+	pts := []Point{Pt(10, 10), Pt(90, 90)}
+	g, err := NewGridIndex(Square(100), 10, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query origin far outside the grid: ring expansion must still find
+	// the true nearest point.
+	idx, dist, ok := g.Nearest(Pt(-500, -500))
+	if !ok || idx != 0 {
+		t.Fatalf("Nearest outside bounds = %d, %v, %v", idx, dist, ok)
+	}
+	want := Pt(10, 10).Dist(Pt(-500, -500))
+	if dist != want {
+		t.Errorf("dist = %v, want %v", dist, want)
+	}
+}
+
+func TestGridIndexTinyCells(t *testing.T) {
+	// Cell size much smaller than the area must not explode or miss.
+	pts := []Point{Pt(0.5, 0.5), Pt(99.5, 99.5)}
+	g, err := NewGridIndex(Square(100), 1, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CountWithin(Pt(0, 0), 2); got != 1 {
+		t.Errorf("CountWithin = %d", got)
+	}
+}
+
+func TestGridIndexCopiesInput(t *testing.T) {
+	pts := []Point{Pt(1, 1)}
+	g, err := NewGridIndex(Square(100), 10, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts[0] = Pt(99, 99)
+	if got := g.CountWithin(Pt(1, 1), 1); got != 1 {
+		t.Error("index aliased caller's slice")
+	}
+}

@@ -1,0 +1,56 @@
+package incentive
+
+import (
+	"paydemand/internal/stats"
+	"paydemand/internal/task"
+)
+
+// Fixed is the baseline fixed incentive mechanism of Section VI: each task
+// draws a uniform random demand level when first seen, is priced by Eq. 7,
+// and its reward never changes in later rounds.
+type Fixed struct {
+	scheme RewardScheme
+	rng    *stats.RNG
+	levels map[task.ID]int
+}
+
+var _ Mechanism = (*Fixed)(nil)
+
+// NewFixed constructs the mechanism. rng drives the one-time random level
+// draw per task.
+func NewFixed(scheme RewardScheme, rng *stats.RNG) (*Fixed, error) {
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fixed{
+		scheme: scheme,
+		rng:    rng,
+		levels: make(map[task.ID]int),
+	}, nil
+}
+
+// Name implements Mechanism.
+func (m *Fixed) Name() string { return "fixed" }
+
+// Rewards implements Mechanism. The first time a task is seen it draws a
+// uniform level in [1, N]; afterwards the memoized level is reused, so the
+// reward is constant across rounds.
+func (m *Fixed) Rewards(_ int, views []TaskView) (map[task.ID]float64, error) {
+	out := make(map[task.ID]float64, len(views))
+	for _, v := range views {
+		lvl, ok := m.levels[v.ID]
+		if !ok {
+			lvl = m.rng.IntBetween(1, m.scheme.Levels.N)
+			m.levels[v.ID] = lvl
+		}
+		out[v.ID] = m.scheme.Reward(lvl)
+	}
+	return out, nil
+}
+
+// Level returns the memoized level for a task and whether it has been
+// drawn yet.
+func (m *Fixed) Level(id task.ID) (int, bool) {
+	lvl, ok := m.levels[id]
+	return lvl, ok
+}

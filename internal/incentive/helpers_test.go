@@ -1,0 +1,8 @@
+package incentive
+
+import "paydemand/internal/ahp"
+
+// mustMatrix2 builds a 2x2 comparison matrix for negative-path tests.
+func mustMatrix2() (*ahp.PairwiseMatrix, error) {
+	return ahp.NewPairwiseMatrix([][]float64{{1, 2}, {0.5, 1}})
+}

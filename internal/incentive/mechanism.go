@@ -1,0 +1,58 @@
+// Package incentive implements the reward mechanisms compared in the paper:
+// the proposed demand-based dynamic ("on-demand") mechanism, the fixed
+// mechanism, and the steered crowdsensing mechanism of Kawajiri et al.
+// (UbiComp 2014), plus configuration presets for the paper's ablations.
+//
+// A Mechanism is consulted by the platform once per sensing round, before
+// task publication, and returns the per-measurement reward of every open
+// task for that round.
+package incentive
+
+import (
+	"paydemand/internal/geo"
+	"paydemand/internal/task"
+)
+
+// TaskView is the platform's per-task observation handed to a mechanism at
+// the start of a round: everything the paper's reward rules depend on.
+type TaskView struct {
+	// ID identifies the task.
+	ID task.ID `json:"id"`
+	// Location is the task's location (used by location-aware mechanisms).
+	Location geo.Point `json:"location"`
+	// Deadline is the task's deadline round tau_i.
+	Deadline int `json:"deadline"`
+	// Required is the number of measurements the task needs (phi_i).
+	Required int `json:"required"`
+	// Received is the number of measurements received so far (pi_i).
+	Received int `json:"received"`
+	// Neighbors is the number of mobile users within the neighbor radius R
+	// of the task at the start of the round.
+	Neighbors int `json:"neighbors"`
+}
+
+// Progress returns the completing progress pi/phi, capped at 1.
+func (v TaskView) Progress() float64 {
+	if v.Required <= 0 {
+		return 1
+	}
+	p := float64(v.Received) / float64(v.Required)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Mechanism prices sensing tasks round by round.
+//
+// Implementations may keep per-task state across rounds (the fixed
+// mechanism memoizes its initial random draw; steered needs only the view).
+// Rewards must return an entry for every view it is given.
+type Mechanism interface {
+	// Name returns a short identifier used in experiment output
+	// ("on-demand", "fixed", "steered").
+	Name() string
+	// Rewards returns the per-measurement reward of each task for the
+	// given round.
+	Rewards(round int, views []TaskView) (map[task.ID]float64, error)
+}

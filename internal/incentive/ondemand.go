@@ -1,0 +1,84 @@
+package incentive
+
+import (
+	"fmt"
+
+	"paydemand/internal/demand"
+	"paydemand/internal/task"
+)
+
+// OnDemand is the paper's demand-based dynamic incentive mechanism
+// (Section IV). At each round it computes every open task's demand
+// indicator from the deadline, completing progress, and neighboring-user
+// factors, weighs them with AHP-derived weights, normalizes, maps the
+// result to a demand level, and prices the task by Eq. 7.
+type OnDemand struct {
+	demandCfg demand.Config
+	scheme    RewardScheme
+}
+
+var _ Mechanism = (*OnDemand)(nil)
+
+// NewOnDemand constructs the mechanism. demandCfg supplies the factor
+// weights and scales; scheme supplies the level-to-reward rule.
+func NewOnDemand(demandCfg demand.Config, scheme RewardScheme) (*OnDemand, error) {
+	if err := demandCfg.Validate(); err != nil {
+		return nil, fmt.Errorf("incentive: on-demand: %w", err)
+	}
+	if err := scheme.Validate(); err != nil {
+		return nil, fmt.Errorf("incentive: on-demand: %w", err)
+	}
+	return &OnDemand{demandCfg: demandCfg, scheme: scheme}, nil
+}
+
+// Name implements Mechanism.
+func (m *OnDemand) Name() string { return "on-demand" }
+
+// Scheme returns the mechanism's reward scheme.
+func (m *OnDemand) Scheme() RewardScheme { return m.scheme }
+
+// DemandConfig returns the mechanism's demand-indicator configuration.
+func (m *OnDemand) DemandConfig() demand.Config { return m.demandCfg }
+
+// Rewards implements Mechanism. It evaluates Eqs. 2-7 for every view.
+func (m *OnDemand) Rewards(round int, views []TaskView) (map[task.ID]float64, error) {
+	inputs := make([]demand.Inputs, len(views))
+	for i, v := range views {
+		inputs[i] = demand.Inputs{
+			Deadline:  v.Deadline,
+			Progress:  v.Progress(),
+			Neighbors: v.Neighbors,
+		}
+	}
+	norm, err := m.demandCfg.NormalizedDemands(round, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("incentive: on-demand round %d: %w", round, err)
+	}
+	out := make(map[task.ID]float64, len(views))
+	for i, v := range views {
+		out[v.ID] = m.scheme.RewardForDemand(norm[i])
+	}
+	return out, nil
+}
+
+// DemandLevels returns the demand level the mechanism would assign each
+// view at the given round, for diagnostics and experiment traces.
+func (m *OnDemand) DemandLevels(round int, views []TaskView) (map[task.ID]int, error) {
+	inputs := make([]demand.Inputs, len(views))
+	for i, v := range views {
+		inputs[i] = demand.Inputs{
+			Deadline:  v.Deadline,
+			Progress:  v.Progress(),
+			Neighbors: v.Neighbors,
+		}
+	}
+	norm, err := m.demandCfg.NormalizedDemands(round, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("incentive: on-demand round %d: %w", round, err)
+	}
+	out := make(map[task.ID]int, len(views))
+	for i, v := range views {
+		out[v.ID] = m.scheme.Levels.Level(norm[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when power iteration fails to converge
+// within the allotted iterations.
+var ErrNoConvergence = errors.New("matrix: power iteration did not converge")
+
+// PowerIterationOptions tunes PrincipalEigen.
+type PowerIterationOptions struct {
+	// MaxIterations bounds the number of iterations. Zero means 1000.
+	MaxIterations int
+	// Tolerance is the convergence threshold on successive eigenvalue
+	// estimates. Zero means 1e-12.
+	Tolerance float64
+}
+
+// PrincipalEigen computes the dominant eigenvalue and a corresponding
+// eigenvector of a square matrix with positive entries, using power
+// iteration. For AHP pairwise comparison matrices (positive reciprocal
+// matrices) the Perron-Frobenius theorem guarantees a unique dominant
+// positive eigenpair, so power iteration converges.
+//
+// The returned eigenvector is normalized to sum to 1, the convention for
+// AHP priority vectors.
+func PrincipalEigen(m *Dense, opts PowerIterationOptions) (eigenvalue float64, eigenvector []float64, err error) {
+	if !m.IsSquare() {
+		return 0, nil, fmt.Errorf("%w: %dx%d is not square", ErrDimensionMismatch, m.rows, m.cols)
+	}
+	n := m.Rows()
+	if n == 0 {
+		return 0, nil, errors.New("matrix: empty matrix")
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-12
+	}
+
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	prevLambda := math.NaN()
+	for iter := 0; iter < maxIter; iter++ {
+		w, mulErr := m.MulVec(v)
+		if mulErr != nil {
+			return 0, nil, mulErr
+		}
+		sum := 0.0
+		for _, x := range w {
+			sum += x
+		}
+		if sum == 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+			return 0, nil, fmt.Errorf("matrix: power iteration degenerated (sum=%v)", sum)
+		}
+		// Rayleigh-style estimate: with v normalized to sum 1, the sum of
+		// A*v estimates the dominant eigenvalue.
+		lambda := sum
+		for i := range w {
+			v[i] = w[i] / sum
+		}
+		if !math.IsNaN(prevLambda) && math.Abs(lambda-prevLambda) <= tol*math.Max(1, math.Abs(lambda)) {
+			return lambda, v, nil
+		}
+		prevLambda = lambda
+	}
+	return 0, nil, fmt.Errorf("%w after %d iterations", ErrNoConvergence, maxIter)
+}
+
+// VecSum returns the sum of the elements of v.
+func VecSum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// VecNormalizeSum returns v scaled so its elements sum to 1. It returns an
+// error if the sum is zero or not finite.
+func VecNormalizeSum(v []float64) ([]float64, error) {
+	s := VecSum(v)
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("matrix: cannot normalize vector with sum %v", s)
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x / s
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPrincipalEigenDiagonal(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{2, 0.001}, {0.001, 1}})
+	lambda, vec, err := PrincipalEigen(m, PowerIterationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-2) > 0.01 {
+		t.Errorf("lambda = %v, want ~2", lambda)
+	}
+	if math.Abs(VecSum(vec)-1) > 1e-9 {
+		t.Errorf("eigenvector sums to %v", VecSum(vec))
+	}
+}
+
+// TestPrincipalEigenPaperMatrix checks the paper's Table I matrix: a nearly
+// consistent 3x3 reciprocal matrix should have a dominant eigenvalue just
+// above 3 and a priority vector near (0.648, 0.230, 0.122).
+func TestPrincipalEigenPaperMatrix(t *testing.T) {
+	m := mustFromRows(t, [][]float64{
+		{1, 3, 5},
+		{1.0 / 3, 1, 2},
+		{1.0 / 5, 1.0 / 2, 1},
+	})
+	lambda, vec, err := PrincipalEigen(m, PowerIterationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda < 3 || lambda > 3.01 {
+		t.Errorf("lambda = %v, want just above 3", lambda)
+	}
+	want := []float64{0.648, 0.230, 0.122}
+	for i := range want {
+		if math.Abs(vec[i]-want[i]) > 0.005 {
+			t.Errorf("vec[%d] = %.4f, want ~%.3f", i, vec[i], want[i])
+		}
+	}
+}
+
+func TestPrincipalEigenSatisfiesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		// Random positive matrix: Perron-Frobenius guarantees convergence.
+		m := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, 0.1+rng.Float64()*5)
+			}
+		}
+		lambda, vec, err := PrincipalEigen(m, PowerIterationOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.MulVec(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-lambda*vec[i]) > 1e-6*math.Max(1, math.Abs(lambda)) {
+				t.Fatalf("A*v != lambda*v at %d: %v vs %v", i, got[i], lambda*vec[i])
+			}
+		}
+	}
+}
+
+func TestPrincipalEigenRejectsNonSquare(t *testing.T) {
+	if _, _, err := PrincipalEigen(New(2, 3), PowerIterationOptions{}); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestPrincipalEigenRejectsEmpty(t *testing.T) {
+	if _, _, err := PrincipalEigen(New(0, 0), PowerIterationOptions{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestPrincipalEigenNoConvergence(t *testing.T) {
+	// A rotation-like matrix with oscillating iterates and 1 iteration
+	// budget must report non-convergence rather than a bogus answer.
+	m := mustFromRows(t, [][]float64{{1, 5}, {0.2, 1}})
+	_, _, err := PrincipalEigen(m, PowerIterationOptions{MaxIterations: 1})
+	if err == nil {
+		t.Error("1-iteration budget converged suspiciously")
+	}
+}
+
+func TestVecNormalizeSum(t *testing.T) {
+	v, err := VecNormalizeSum([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0.25 || v[1] != 0.75 {
+		t.Errorf("normalized = %v", v)
+	}
+	if _, err := VecNormalizeSum([]float64{1, -1}); err == nil {
+		t.Error("zero-sum vector accepted")
+	}
+	if _, err := VecNormalizeSum([]float64{math.Inf(1)}); err == nil {
+		t.Error("inf vector accepted")
+	}
+}
+
+func TestVecSum(t *testing.T) {
+	if VecSum(nil) != 0 {
+		t.Error("VecSum(nil) != 0")
+	}
+	if VecSum([]float64{1, 2, 3}) != 6 {
+		t.Error("VecSum wrong")
+	}
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func trial(cov float64, rounds ...RoundStats) TrialResult {
+	return TrialResult{
+		Mechanism:               "on-demand",
+		Algorithm:               "dp",
+		Coverage:                cov,
+		OverallCompleteness:     cov / 2,
+		AvgMeasurements:         10 * cov,
+		VarianceMeasurements:    cov,
+		TotalRewardPaid:         100 * cov,
+		AvgRewardPerMeasurement: cov,
+		AvgUserProfit:           5 * cov,
+		Rounds:                  rounds,
+	}
+}
+
+func TestTrialRoundAt(t *testing.T) {
+	tr := trial(1, RoundStats{Round: 1, Coverage: 0.5}, RoundStats{Round: 2, Coverage: 1})
+	r, ok := tr.RoundAt(2)
+	if !ok || r.Coverage != 1 {
+		t.Errorf("RoundAt(2) = %+v, %v", r, ok)
+	}
+	if _, ok := tr.RoundAt(5); ok {
+		t.Error("RoundAt(5) found a missing round")
+	}
+}
+
+func TestAggregatorMeans(t *testing.T) {
+	var a Aggregator
+	a.Add(trial(0.8))
+	a.Add(trial(1.0))
+	if a.N() != 2 {
+		t.Fatalf("N = %d", a.N())
+	}
+	s := a.Summary()
+	if math.Abs(s.Coverage-0.9) > 1e-12 {
+		t.Errorf("Coverage = %v, want 0.9", s.Coverage)
+	}
+	if math.Abs(s.OverallCompleteness-0.45) > 1e-12 {
+		t.Errorf("OverallCompleteness = %v, want 0.45", s.OverallCompleteness)
+	}
+	if math.Abs(s.AvgMeasurements-9) > 1e-12 {
+		t.Errorf("AvgMeasurements = %v, want 9", s.AvgMeasurements)
+	}
+	if math.Abs(s.AvgUserProfit-4.5) > 1e-12 {
+		t.Errorf("AvgUserProfit = %v, want 4.5", s.AvgUserProfit)
+	}
+	if s.Trials != 2 {
+		t.Errorf("Trials = %d", s.Trials)
+	}
+}
+
+func TestAggregatorSeries(t *testing.T) {
+	var a Aggregator
+	a.Add(trial(1,
+		RoundStats{Round: 1, Coverage: 0.4, NewMeasurements: 100},
+		RoundStats{Round: 2, Coverage: 0.8, NewMeasurements: 50},
+	))
+	a.Add(trial(1,
+		RoundStats{Round: 1, Coverage: 0.6, NewMeasurements: 200},
+		RoundStats{Round: 2, Coverage: 1.0, NewMeasurements: 100},
+		RoundStats{Round: 3, Coverage: 1.0, NewMeasurements: 10},
+	))
+	cov := a.Series(MetricCoverage, 10)
+	if len(cov.Rounds) != 3 {
+		t.Fatalf("series has %d rounds", len(cov.Rounds))
+	}
+	if math.Abs(cov.Values[0]-0.5) > 1e-12 || math.Abs(cov.Values[1]-0.9) > 1e-12 {
+		t.Errorf("coverage series = %v", cov.Values)
+	}
+	// Round 3 exists in only one trial: its mean is over that trial alone.
+	if cov.Values[2] != 1.0 {
+		t.Errorf("round 3 coverage = %v", cov.Values[2])
+	}
+	nm := a.Series(MetricNewMeasurements, 2)
+	if len(nm.Values) != 2 || nm.Values[0] != 150 || nm.Values[1] != 75 {
+		t.Errorf("measurement series = %v", nm.Values)
+	}
+	if a.MaxRound() != 3 {
+		t.Errorf("MaxRound = %d", a.MaxRound())
+	}
+}
+
+func TestAggregatorSeriesOtherMetrics(t *testing.T) {
+	var a Aggregator
+	a.Add(trial(1, RoundStats{Round: 1, Completeness: 0.5, RoundProfit: 10, MeanPublishedReward: 1.5}))
+	if v := a.Series(MetricCompleteness, 1).Values[0]; v != 0.5 {
+		t.Errorf("completeness = %v", v)
+	}
+	if v := a.Series(MetricRoundProfit, 1).Values[0]; v != 10 {
+		t.Errorf("round profit = %v", v)
+	}
+	if v := a.Series(MetricMeanReward, 1).Values[0]; v != 1.5 {
+		t.Errorf("mean reward = %v", v)
+	}
+}
+
+func TestAggregatorZeroValue(t *testing.T) {
+	var a Aggregator
+	if a.N() != 0 || a.MaxRound() != 0 {
+		t.Error("zero aggregator not empty")
+	}
+	s := a.Summary()
+	if s.Coverage != 0 || s.Trials != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	series := a.Series(MetricCoverage, 5)
+	if len(series.Rounds) != 0 {
+		t.Errorf("empty series = %+v", series)
+	}
+}
+
+func TestRoundMetricString(t *testing.T) {
+	tests := map[RoundMetric]string{
+		MetricCoverage:        "coverage",
+		MetricCompleteness:    "completeness",
+		MetricNewMeasurements: "new-measurements",
+		MetricRoundProfit:     "round-profit",
+		MetricMeanReward:      "mean-reward",
+		RoundMetric(99):       "RoundMetric(99)",
+	}
+	for m, want := range tests {
+		if got := m.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package mobility_test
+
+import (
+	"fmt"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/mobility"
+	"paydemand/internal/stats"
+)
+
+// Example walks one user with the random-waypoint model for several idle
+// periods and shows it never outruns its speed budget.
+func Example() {
+	area := geo.Square(1000)
+	model, err := mobility.NewRandomWaypoint(area)
+	if err != nil {
+		panic(err)
+	}
+	rng := stats.NewRNG(7)
+	cur := area.Center()
+	withinBudget := true
+	for step := 0; step < 20; step++ {
+		next := model.Step(rng, 1, cur, 60 /* idle seconds */, 2 /* m/s */)
+		if cur.Dist(next) > 120+1e-9 {
+			withinBudget = false
+		}
+		if !area.Contains(next) {
+			withinBudget = false
+		}
+		cur = next
+	}
+	fmt.Println("moved:", !cur.Equal(area.Center()))
+	fmt.Println("always within budget and area:", withinBudget)
+	// Output:
+	// moved: true
+	// always within budget and area: true
+}

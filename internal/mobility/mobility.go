@@ -1,0 +1,140 @@
+// Package mobility provides the user-movement models applied between
+// sensing rounds. The paper's users move only to perform tasks; real
+// crowdsensing populations also commute, stroll, and loiter, which changes
+// where the "neighboring users" of a task are at the start of each round
+// — exactly the signal the demand indicator's third factor consumes.
+//
+// Models are round-granular: Step is called once per user per round with
+// the time the user did NOT spend performing tasks, and returns the user's
+// next position.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/stats"
+)
+
+// Model moves one user between rounds.
+type Model interface {
+	// Name returns a short identifier.
+	Name() string
+	// Step returns the next position of the user identified by userID,
+	// given its current position, the idle time available for wandering
+	// (seconds), and its walking speed (m/s). Implementations must keep
+	// the result inside the area. Stateful models key their per-user
+	// state by userID.
+	Step(rng *stats.RNG, userID int, cur geo.Point, idleTime, speed float64) geo.Point
+}
+
+// Stationary keeps users where they ended the round (the paper's implicit
+// model).
+type Stationary struct{}
+
+var _ Model = Stationary{}
+
+// Name implements Model.
+func (Stationary) Name() string { return "stationary" }
+
+// Step implements Model.
+func (Stationary) Step(_ *stats.RNG, _ int, cur geo.Point, _, _ float64) geo.Point { return cur }
+
+// RandomWaypoint is the classic mobility model: each user maintains a
+// target waypoint drawn uniformly from the area, walks toward it with the
+// idle time available, and draws a new waypoint upon arrival.
+//
+// RandomWaypoint keeps per-user state; construct one per simulation with
+// NewRandomWaypoint and do not share across concurrent simulations.
+type RandomWaypoint struct {
+	area geo.Rect
+	// waypoints maps user index (caller-chosen) to the current target.
+	waypoints map[int]geo.Point
+}
+
+// NewRandomWaypoint builds the model over the given area.
+func NewRandomWaypoint(area geo.Rect) (*RandomWaypoint, error) {
+	if !area.Valid() || area.Area() == 0 {
+		return nil, fmt.Errorf("mobility: invalid area %v", area)
+	}
+	return &RandomWaypoint{area: area, waypoints: make(map[int]geo.Point)}, nil
+}
+
+var _ Model = (*RandomWaypoint)(nil)
+
+// Name implements Model.
+func (*RandomWaypoint) Name() string { return "random-waypoint" }
+
+// Step implements Model, advancing the waypoint walk of the user keyed
+// by id.
+func (m *RandomWaypoint) Step(rng *stats.RNG, id int, cur geo.Point, idleTime, speed float64) geo.Point {
+	budget := idleTime * speed
+	if budget <= 0 {
+		return cur
+	}
+	for budget > 0 {
+		wp, ok := m.waypoints[id]
+		if !ok || wp.Equal(cur) {
+			wp = geo.Pt(
+				rng.Uniform(m.area.Min.X, m.area.Max.X),
+				rng.Uniform(m.area.Min.Y, m.area.Max.Y),
+			)
+			m.waypoints[id] = wp
+		}
+		d := cur.Dist(wp)
+		if d >= budget {
+			return cur.Toward(wp, budget)
+		}
+		cur = wp
+		budget -= d
+		delete(m.waypoints, id) // arrived; draw a fresh waypoint next loop
+	}
+	return cur
+}
+
+// LevyWalk approximates human mobility with heavy-tailed flight lengths:
+// each step picks a uniform direction and a Pareto-distributed flight,
+// truncated to the idle-time budget and reflected into the area.
+type LevyWalk struct {
+	area geo.Rect
+	// Alpha is the Pareto tail exponent; human-mobility studies fit
+	// values near 1.6. Must be > 0.
+	Alpha float64
+	// MinFlight is the minimum flight length in meters. Must be > 0.
+	MinFlight float64
+}
+
+// NewLevyWalk builds the model with the conventional parameters
+// (alpha = 1.6, 10 m minimum flight).
+func NewLevyWalk(area geo.Rect) (*LevyWalk, error) {
+	if !area.Valid() || area.Area() == 0 {
+		return nil, fmt.Errorf("mobility: invalid area %v", area)
+	}
+	return &LevyWalk{area: area, Alpha: 1.6, MinFlight: 10}, nil
+}
+
+var _ Model = (*LevyWalk)(nil)
+
+// Name implements Model.
+func (*LevyWalk) Name() string { return "levy-walk" }
+
+// Step implements Model.
+func (l *LevyWalk) Step(rng *stats.RNG, _ int, cur geo.Point, idleTime, speed float64) geo.Point {
+	budget := idleTime * speed
+	if budget <= 0 || l.Alpha <= 0 || l.MinFlight <= 0 {
+		return cur
+	}
+	for budget > 0 {
+		// Pareto flight: x = xm * U^(-1/alpha).
+		flight := l.MinFlight * math.Pow(1-rng.Float64(), -1/l.Alpha)
+		if flight > budget {
+			flight = budget
+		}
+		theta := rng.Uniform(0, 2*math.Pi)
+		next := cur.Add(geo.Pt(math.Cos(theta), math.Sin(theta)).Scale(flight))
+		cur = l.area.Clamp(next)
+		budget -= flight
+	}
+	return cur
+}

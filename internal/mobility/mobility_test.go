@@ -1,0 +1,161 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/stats"
+)
+
+func TestStationary(t *testing.T) {
+	m := Stationary{}
+	if m.Name() != "stationary" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	cur := geo.Pt(10, 20)
+	if got := m.Step(stats.NewRNG(1), 0, cur, 600, 2); !got.Equal(cur) {
+		t.Errorf("stationary moved: %v", got)
+	}
+}
+
+func TestNewRandomWaypointValidation(t *testing.T) {
+	if _, err := NewRandomWaypoint(geo.Rect{}); err == nil {
+		t.Error("empty area accepted")
+	}
+	if _, err := NewRandomWaypoint(geo.Square(100)); err != nil {
+		t.Errorf("valid area rejected: %v", err)
+	}
+}
+
+func TestRandomWaypointRespectsSpeedBudget(t *testing.T) {
+	m, err := NewRandomWaypoint(geo.Square(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	cur := geo.Pt(500, 500)
+	for step := 0; step < 100; step++ {
+		idle := rng.Uniform(0, 100)
+		speed := 2.0
+		next := m.Step(rng, 1, cur, idle, speed)
+		// A waypoint walk can zig-zag, but displacement never exceeds the
+		// distance budget.
+		if d := cur.Dist(next); d > idle*speed+1e-9 {
+			t.Fatalf("step %d: moved %v with budget %v", step, d, idle*speed)
+		}
+		if !geo.Square(1000).Contains(next) {
+			t.Fatalf("step %d: escaped area: %v", step, next)
+		}
+		cur = next
+	}
+}
+
+func TestRandomWaypointZeroIdle(t *testing.T) {
+	m, err := NewRandomWaypoint(geo.Square(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := geo.Pt(1, 1)
+	if got := m.Step(stats.NewRNG(1), 0, cur, 0, 2); !got.Equal(cur) {
+		t.Errorf("zero idle moved: %v", got)
+	}
+}
+
+func TestRandomWaypointEventuallyMoves(t *testing.T) {
+	m, err := NewRandomWaypoint(geo.Square(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := geo.Pt(500, 500)
+	next := m.Step(stats.NewRNG(9), 0, cur, 300, 2)
+	if next.Equal(cur) {
+		t.Error("waypoint walk did not move with 600 m budget")
+	}
+}
+
+func TestRandomWaypointPerUserIndependence(t *testing.T) {
+	m, err := NewRandomWaypoint(geo.Square(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	a := m.Step(rng, 1, geo.Pt(0, 0), 50, 2)
+	b := m.Step(rng, 2, geo.Pt(0, 0), 50, 2)
+	// Users draw independent waypoints, so identical starts should
+	// (almost surely) diverge.
+	if a.Equal(b) {
+		t.Error("two users share a waypoint")
+	}
+}
+
+func TestLevyWalkStaysInAreaAndMoves(t *testing.T) {
+	area := geo.Square(1000)
+	m, err := NewLevyWalk(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "levy-walk" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	rng := stats.NewRNG(5)
+	cur := geo.Pt(500, 500)
+	moved := false
+	for step := 0; step < 200; step++ {
+		next := m.Step(rng, 0, cur, 60, 2)
+		if !area.Contains(next) {
+			t.Fatalf("escaped area: %v", next)
+		}
+		if !next.Equal(cur) {
+			moved = true
+		}
+		cur = next
+	}
+	if !moved {
+		t.Error("levy walk never moved")
+	}
+}
+
+func TestLevyWalkZeroIdle(t *testing.T) {
+	m, err := NewLevyWalk(geo.Square(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := geo.Pt(3, 3)
+	if got := m.Step(stats.NewRNG(1), 0, cur, 0, 2); !got.Equal(cur) {
+		t.Errorf("zero idle moved: %v", got)
+	}
+}
+
+func TestLevyWalkHeavyTail(t *testing.T) {
+	// Flight lengths should occasionally be much larger than the minimum:
+	// measure max single-step displacement over many steps with a big
+	// budget and expect at least one long flight.
+	area := geo.Square(100000)
+	m, err := NewLevyWalk(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(8)
+	longest := 0.0
+	cur := area.Center()
+	for i := 0; i < 500; i++ {
+		next := m.Step(rng, 0, cur, 10, 2) // 20 m budget per step
+		if d := cur.Dist(next); d > longest {
+			longest = d
+		}
+		cur = next
+	}
+	if longest < m.MinFlight {
+		t.Errorf("longest flight %v below minimum %v", longest, m.MinFlight)
+	}
+	if math.IsNaN(longest) {
+		t.Error("NaN displacement")
+	}
+}
+
+func TestNewLevyWalkValidation(t *testing.T) {
+	if _, err := NewLevyWalk(geo.Rect{}); err == nil {
+		t.Error("empty area accepted")
+	}
+}

@@ -1,0 +1,336 @@
+// Package sat implements the Server-Assigned-Tasks (SAT) mode that the
+// paper positions the WST mode against (Sections I-II): instead of users
+// picking tasks from a published price list, each round the users bid
+// their costs and the platform centrally assigns tasks through a reverse
+// auction (the Lee-and-Hoh style mechanism the paper cites).
+//
+// The auction is deliberately simple and cost-truthful in spirit:
+//
+//   - every user submits, for each open task it can reach this round, a
+//     bid equal to its true travel cost inflated by a profit margin;
+//   - the platform sorts all bids by amount and greedily awards them,
+//     respecting each task's remaining measurement requirement, each
+//     user's travel-time budget (marginal travel from the user's previous
+//     award this round), and the platform's payment budget;
+//   - winners perform their tasks and are paid their bids (first price).
+//
+// The package exposes the same TrialResult as the WST simulator so the
+// experiment harness can compare modes directly.
+package sat
+
+import (
+	"fmt"
+	"sort"
+
+	"paydemand/internal/agent"
+	"paydemand/internal/geo"
+	"paydemand/internal/metrics"
+	"paydemand/internal/stats"
+	"paydemand/internal/task"
+	"paydemand/internal/workload"
+)
+
+// Defaults for the auction.
+const (
+	// DefaultMargin is the profit margin users add to their true cost.
+	DefaultMargin = 0.2
+	// DefaultBudget is the platform's payment budget.
+	DefaultBudget = 1000.0
+	// DefaultMinBid keeps bids strictly positive even for zero-distance
+	// tasks, modeling the user's fixed effort of taking a measurement.
+	DefaultMinBid = 0.05
+)
+
+// Config parameterizes a SAT-mode campaign. Zero values select the same
+// paper defaults as the WST simulator where they overlap.
+type Config struct {
+	// Workload configures scenario generation.
+	Workload workload.Config `json:"workload"`
+	// Rounds bounds the campaign; zero means the largest deadline.
+	Rounds int `json:"rounds"`
+	// UserSpeed, UserTimeBudget, CostPerMeter mirror the WST simulator.
+	UserSpeed      float64 `json:"user_speed"`
+	UserTimeBudget float64 `json:"user_time_budget"`
+	CostPerMeter   float64 `json:"cost_per_meter"`
+	// Budget is the platform's total payment budget.
+	Budget float64 `json:"budget"`
+	// Margin is the relative markup users put on their true costs.
+	Margin float64 `json:"margin"`
+	// MinBid floors every bid; zero means DefaultMinBid.
+	MinBid float64 `json:"min_bid"`
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.UserSpeed == 0 {
+		c.UserSpeed = agent.DefaultSpeed
+	}
+	if c.UserTimeBudget == 0 {
+		c.UserTimeBudget = agent.DefaultTimeBudget
+	}
+	if c.CostPerMeter == 0 {
+		c.CostPerMeter = agent.DefaultCostPerMeter
+	}
+	if c.Budget == 0 {
+		c.Budget = DefaultBudget
+	}
+	if c.Margin == 0 {
+		c.Margin = DefaultMargin
+	}
+	if c.MinBid == 0 {
+		c.MinBid = DefaultMinBid
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds < 0 {
+		return fmt.Errorf("sat: rounds %d, want >= 0", c.Rounds)
+	}
+	if c.UserSpeed <= 0 || c.UserTimeBudget < 0 || c.CostPerMeter < 0 {
+		return fmt.Errorf("sat: bad user parameters (speed %v, budget %v, cost %v)",
+			c.UserSpeed, c.UserTimeBudget, c.CostPerMeter)
+	}
+	if c.Budget <= 0 {
+		return fmt.Errorf("sat: budget %v, want > 0", c.Budget)
+	}
+	if c.Margin < 0 {
+		return fmt.Errorf("sat: margin %v, want >= 0", c.Margin)
+	}
+	if c.MinBid < 0 {
+		return fmt.Errorf("sat: min bid %v, want >= 0", c.MinBid)
+	}
+	return nil
+}
+
+// Bid is one user's offer to perform one task this round.
+type Bid struct {
+	User int     `json:"user"`
+	Task task.ID `json:"task"`
+	// Amount is what the platform pays if the bid wins.
+	Amount float64 `json:"amount"`
+	// cost is the user's true marginal cost at bid time (travel from its
+	// round-start location).
+	cost float64
+	// dist is the corresponding travel distance.
+	dist float64
+}
+
+// Simulation runs a SAT-mode campaign. Create with New, call Run once.
+type Simulation struct {
+	cfg      Config
+	scenario workload.Scenario
+	board    *task.Board
+	users    []*agent.User
+	ran      bool
+	// remainingBudget is the platform's unspent payment budget.
+	remainingBudget float64
+}
+
+// New generates a scenario and prepares the campaign.
+func New(cfg Config, seed int64) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	root := stats.NewRNG(seed)
+	sc, err := workload.Generate(root.Split(), cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	board, err := task.NewBoard(sc.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	users := make([]*agent.User, len(sc.UserLocations))
+	for i, loc := range sc.UserLocations {
+		u := agent.New(i+1, loc)
+		u.Speed = cfg.UserSpeed
+		u.TimeBudget = cfg.UserTimeBudget
+		u.CostPerMeter = cfg.CostPerMeter
+		users[i] = u
+	}
+	return &Simulation{
+		cfg:             cfg,
+		scenario:        sc,
+		board:           board,
+		users:           users,
+		remainingBudget: cfg.Budget,
+	}, nil
+}
+
+// Board exposes the task board.
+func (s *Simulation) Board() *task.Board { return s.board }
+
+// rounds resolves the horizon.
+func (s *Simulation) rounds() int {
+	if s.cfg.Rounds > 0 {
+		return s.cfg.Rounds
+	}
+	return s.board.MaxDeadline()
+}
+
+// Run executes the campaign.
+func (s *Simulation) Run() (metrics.TrialResult, error) {
+	if s.ran {
+		return metrics.TrialResult{}, fmt.Errorf("sat: Run called twice")
+	}
+	s.ran = true
+	result := metrics.TrialResult{
+		Mechanism: "sat-auction",
+		Algorithm: "reverse-auction",
+		Users:     len(s.users),
+		Tasks:     s.board.Len(),
+	}
+	horizon := s.rounds()
+	for k := 1; k <= horizon; k++ {
+		rs, err := s.runRound(k)
+		if err != nil {
+			return metrics.TrialResult{}, fmt.Errorf("sat: round %d: %w", k, err)
+		}
+		result.Rounds = append(result.Rounds, rs)
+		result.RoundsRun = k
+	}
+	result.Coverage = s.board.Coverage()
+	result.OverallCompleteness = s.board.OverallCompleteness()
+	result.StrictCompleteness = s.board.StrictCompleteness()
+	counts := s.board.MeasurementCounts()
+	result.AvgMeasurements = stats.Mean(counts)
+	result.VarianceMeasurements = stats.Variance(counts)
+	result.TotalMeasurements = s.board.TotalReceived()
+	result.TotalRewardPaid = s.board.TotalRewardPaid()
+	result.AvgRewardPerMeasurement = s.board.AverageRewardPerMeasurement()
+	result.UserProfits = make([]float64, len(s.users))
+	for i, u := range s.users {
+		result.UserProfits[i] = u.Profit()
+	}
+	result.AvgUserProfit = stats.Mean(result.UserProfits)
+	result.TaskGini = stats.Gini(counts)
+	result.ProfitGini = stats.Gini(result.UserProfits)
+	return result, nil
+}
+
+// runRound executes one bid/assign/perform cycle.
+func (s *Simulation) runRound(k int) (metrics.RoundStats, error) {
+	rs := metrics.RoundStats{Round: k}
+	open := s.board.OpenAt(k)
+	rs.OpenTasks = len(open)
+	if len(open) == 0 {
+		s.fillRoundStats(k, &rs)
+		return rs, nil
+	}
+
+	bids := s.collectBids(k, open)
+	if len(bids) > 0 {
+		total := 0.0
+		for _, b := range bids {
+			total += b.Amount
+		}
+		rs.MeanPublishedReward = total / float64(len(bids))
+	}
+
+	// Greedy winner determination: cheapest bids first.
+	sort.Slice(bids, func(i, j int) bool {
+		if bids[i].Amount != bids[j].Amount {
+			return bids[i].Amount < bids[j].Amount
+		}
+		if bids[i].User != bids[j].User {
+			return bids[i].User < bids[j].User
+		}
+		return bids[i].Task < bids[j].Task
+	})
+
+	// Per-user marginal state during assignment.
+	pos := make(map[int]geo.Point, len(s.users))
+	travelLeft := make(map[int]float64, len(s.users))
+	won := make(map[int]bool)
+	byID := make(map[int]*agent.User, len(s.users))
+	for _, u := range s.users {
+		pos[u.ID] = u.Location
+		travelLeft[u.ID] = u.MaxTravelDistance()
+		byID[u.ID] = u
+	}
+
+	for _, b := range bids {
+		st := s.board.Get(b.Task)
+		if !st.OpenAt(k) || st.Contributed(b.User) {
+			continue
+		}
+		u := byID[b.User]
+		if u.HasDone(b.Task) {
+			continue
+		}
+		// Marginal travel from the user's position after earlier awards.
+		d := pos[b.User].Dist(st.Location)
+		if d > travelLeft[b.User] {
+			continue
+		}
+		if b.Amount > s.remainingBudget {
+			continue
+		}
+		if err := st.Record(b.User, k, b.Amount); err != nil {
+			return rs, err
+		}
+		u.MarkDone(b.Task)
+		s.remainingBudget -= b.Amount
+		travelLeft[b.User] -= d
+		pos[b.User] = st.Location
+		u.AddProfit(b.Amount - d*u.CostPerMeter)
+		rs.RoundProfit += b.Amount - d*u.CostPerMeter
+		if !won[b.User] {
+			won[b.User] = true
+			rs.ActiveUsers++
+		}
+	}
+
+	// Winners end the round at their last assigned task.
+	for id, p := range pos {
+		byID[id].MoveTo(p)
+	}
+	s.fillRoundStats(k, &rs)
+	return rs, nil
+}
+
+// collectBids gathers every user's per-task offers for the round.
+func (s *Simulation) collectBids(k int, open []*task.State) []Bid {
+	var bids []Bid
+	for _, u := range s.users {
+		maxTravel := u.MaxTravelDistance()
+		for _, st := range open {
+			if u.HasDone(st.ID) || st.Contributed(u.ID) {
+				continue
+			}
+			d := u.Location.Dist(st.Location)
+			if d > maxTravel {
+				continue
+			}
+			cost := d * u.CostPerMeter
+			amount := cost*(1+s.cfg.Margin) + s.cfg.MinBid
+			bids = append(bids, Bid{User: u.ID, Task: st.ID, Amount: amount, cost: cost, dist: d})
+		}
+	}
+	return bids
+}
+
+// fillRoundStats completes the per-round bookkeeping.
+func (s *Simulation) fillRoundStats(k int, rs *metrics.RoundStats) {
+	rs.NewMeasurements = s.board.TotalReceivedAt(k)
+	rs.TotalMeasurements = s.board.TotalReceived()
+	rs.Coverage = s.board.CoverageBy(k)
+	rs.Completeness = s.board.OverallCompletenessBy(k)
+	rs.RewardPaid = s.board.TotalRewardPaid()
+}
+
+// Run builds and runs a SAT campaign in one call.
+func Run(cfg Config, seed int64) (metrics.TrialResult, error) {
+	s, err := New(cfg, seed)
+	if err != nil {
+		return metrics.TrialResult{}, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,37 @@
+package selection
+
+// DefaultAutoThreshold is the largest filtered instance Auto solves
+// exactly. It is deliberately below DefaultDPMaxTasks: the DP table has
+// 2^m x m entries (~9 MB at m = 16 but ~190 MB at m = 20), and Auto runs
+// once per user per round, so the exact solver must stay cheap.
+const DefaultAutoThreshold = 16
+
+// Auto selects with the optimal DP when the (reachability-filtered)
+// instance is small enough and falls back to the greedy heuristic beyond
+// the threshold, mirroring the paper's guidance that DP is for small task
+// sets and greedy for crowdsensing at scale.
+type Auto struct {
+	// Threshold is the largest filtered instance solved exactly; zero
+	// means DefaultAutoThreshold.
+	Threshold int
+}
+
+var _ Algorithm = (*Auto)(nil)
+
+// Name implements Algorithm.
+func (*Auto) Name() string { return "auto" }
+
+// Select implements Algorithm.
+func (a *Auto) Select(p Problem) (Plan, error) {
+	threshold := a.Threshold
+	if threshold <= 0 {
+		threshold = DefaultAutoThreshold
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if len(reachable(p)) <= threshold {
+		return (&DP{MaxTasks: threshold}).Select(p)
+	}
+	return (&Greedy{}).Select(p)
+}

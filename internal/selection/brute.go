@@ -1,0 +1,64 @@
+package selection
+
+import (
+	"fmt"
+)
+
+// BruteForceMaxTasks bounds the instances BruteForce accepts; beyond ~9
+// tasks the permutation space explodes.
+const BruteForceMaxTasks = 9
+
+// BruteForce exhaustively enumerates every ordered subset of candidates
+// and returns the feasible plan with maximum profit. It exists as the
+// ground-truth oracle for testing the DP solver and is exponential in the
+// worst way; do not use it outside tests and tiny instances.
+type BruteForce struct{}
+
+var _ Algorithm = (*BruteForce)(nil)
+
+// Name implements Algorithm.
+func (*BruteForce) Name() string { return "brute-force" }
+
+// Select implements Algorithm.
+func (*BruteForce) Select(p Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	idxs := reachable(p)
+	if len(idxs) > BruteForceMaxTasks {
+		return Plan{}, fmt.Errorf("%w: %d candidates, cap %d", ErrTooManyTasks, len(idxs), BruteForceMaxTasks)
+	}
+	best := Plan{}
+	cur := make([]int, 0, len(idxs))
+	used := make([]bool, len(idxs))
+
+	// budgetSoFar includes per-task overhead; travelSoFar is movement only
+	// (movement cost applies to travel, not sensing time).
+	var recurse func(budgetSoFar, travelSoFar, rewardSoFar float64)
+	recurse = func(budgetSoFar, travelSoFar, rewardSoFar float64) {
+		profit := rewardSoFar - travelSoFar*p.CostPerMeter
+		if profit > best.Profit+1e-12 && len(cur) > 0 {
+			best = buildPlan(p, cur)
+		}
+		last := p.Start
+		if len(cur) > 0 {
+			last = p.Candidates[cur[len(cur)-1]].Location
+		}
+		for k, idx := range idxs {
+			if used[k] {
+				continue
+			}
+			d := last.Dist(p.Candidates[idx].Location)
+			if budgetSoFar+d+p.PerTaskDistance > p.MaxDistance {
+				continue
+			}
+			used[k] = true
+			cur = append(cur, idx)
+			recurse(budgetSoFar+d+p.PerTaskDistance, travelSoFar+d, rewardSoFar+p.Candidates[idx].Reward)
+			cur = cur[:len(cur)-1]
+			used[k] = false
+		}
+	}
+	recurse(0, 0, 0)
+	return best, nil
+}

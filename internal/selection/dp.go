@@ -1,0 +1,162 @@
+package selection
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// DefaultDPMaxTasks bounds the instance size the exact solver accepts
+// after reachability filtering. The table has 2^m * m entries, so 22 tasks
+// cost ~700 MB; beyond ~20 the greedy solver is the practical choice (the
+// paper makes the same observation in Section V-B).
+const DefaultDPMaxTasks = 20
+
+// DP is the paper's optimal dynamic-programming task selection algorithm
+// (Section V-A). It runs the Held-Karp style recurrence of Eq. 12 over
+// task subsets:
+//
+//	dp[S | {q}][q] = min over j in S of dp[S][j] + dist(j, q)
+//
+// where dp[S][j] is the shortest path starting at the user's location,
+// visiting exactly the tasks in S, and ending at task j. Among all subsets
+// whose shortest path fits the travel budget it returns the one with the
+// maximum profit (Eq. 1). Complexity O(m^2 2^m) time, O(m 2^m) space
+// (Theorem 2).
+type DP struct {
+	// MaxTasks bounds the filtered instance size; zero means
+	// DefaultDPMaxTasks.
+	MaxTasks int
+}
+
+var _ Algorithm = (*DP)(nil)
+
+// Name implements Algorithm.
+func (*DP) Name() string { return "dp" }
+
+// maxTasks resolves the configured cap.
+func (d *DP) maxTasks() int {
+	if d.MaxTasks <= 0 {
+		return DefaultDPMaxTasks
+	}
+	return d.MaxTasks
+}
+
+// Select implements Algorithm. It returns ErrTooManyTasks if more than
+// MaxTasks candidates survive reachability filtering.
+func (d *DP) Select(p Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	idxs := reachable(p)
+	m := len(idxs)
+	if m == 0 {
+		return Plan{}, nil
+	}
+	if m > d.maxTasks() {
+		return Plan{}, fmt.Errorf("%w: %d candidates, cap %d", ErrTooManyTasks, m, d.maxTasks())
+	}
+
+	// Distance tables over the filtered candidates.
+	startDist := make([]float64, m)
+	dist := make([]float64, m*m)
+	for a := 0; a < m; a++ {
+		la := p.Candidates[idxs[a]].Location
+		startDist[a] = p.Start.Dist(la)
+		for b := 0; b < m; b++ {
+			dist[a*m+b] = la.Dist(p.Candidates[idxs[b]].Location)
+		}
+	}
+
+	// dp stores consumed budget: travel distance plus the per-task
+	// overhead of every visit so far. All states of one mask share the
+	// same visit count, so travel distance is recoverable per mask.
+	ovh := p.PerTaskDistance
+	size := 1 << m
+	dp := make([]float64, size*m)
+	parent := make([]int8, size*m)
+	for i := range dp {
+		dp[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	for a := 0; a < m; a++ {
+		dp[(1<<a)*m+a] = startDist[a] + ovh
+	}
+
+	// Subset reward sums, built incrementally from each mask's lowest bit.
+	rewardSum := make([]float64, size)
+	for mask := 1; mask < size; mask++ {
+		low := bits.TrailingZeros(uint(mask))
+		rewardSum[mask] = rewardSum[mask&(mask-1)] + p.Candidates[idxs[low]].Reward
+	}
+
+	bestProfit := 0.0 // the empty plan is always feasible with profit 0
+	bestMask := 0
+	bestEnd := -1
+	bestDist := 0.0
+	for mask := 1; mask < size; mask++ {
+		minDist := math.Inf(1)
+		minEnd := -1
+		for j := 0; j < m; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			dj := dp[mask*m+j]
+			if math.IsInf(dj, 1) {
+				continue
+			}
+			if dj < minDist {
+				minDist = dj
+				minEnd = j
+			}
+			// Extend to tasks outside the mask (Eq. 12).
+			if dj <= p.MaxDistance {
+				for q := 0; q < m; q++ {
+					if mask&(1<<q) != 0 {
+						continue
+					}
+					nd := dj + dist[j*m+q] + ovh
+					nm := mask | 1<<q
+					if nd < dp[nm*m+q] {
+						dp[nm*m+q] = nd
+						parent[nm*m+q] = int8(j)
+					}
+				}
+			}
+		}
+		if minEnd < 0 || minDist > p.MaxDistance {
+			continue
+		}
+		// Movement cost applies to travel only, not to sensing overhead.
+		travel := minDist - ovh*float64(bits.OnesCount(uint(mask)))
+		profit := rewardSum[mask] - travel*p.CostPerMeter
+		// Strictly-better profit wins; ties prefer the shorter walk so the
+		// result is deterministic and minimal.
+		if profit > bestProfit+1e-12 ||
+			(math.Abs(profit-bestProfit) <= 1e-12 && bestEnd >= 0 && minDist < bestDist) {
+			bestProfit = profit
+			bestMask = mask
+			bestEnd = minEnd
+			bestDist = minDist
+		}
+	}
+
+	if bestMask == 0 {
+		return Plan{}, nil
+	}
+
+	// Reconstruct the visiting order by walking parents back to the start.
+	orderRev := make([]int, 0, bits.OnesCount(uint(bestMask)))
+	mask, j := bestMask, bestEnd
+	for j >= 0 {
+		orderRev = append(orderRev, idxs[j])
+		pj := parent[mask*m+j]
+		mask &^= 1 << j
+		j = int(pj)
+	}
+	order := make([]int, len(orderRev))
+	for i, v := range orderRev {
+		order[len(orderRev)-1-i] = v
+	}
+	return buildPlan(p, order), nil
+}

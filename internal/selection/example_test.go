@@ -1,0 +1,54 @@
+package selection_test
+
+import (
+	"fmt"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/selection"
+)
+
+// Example solves one user's round: tasks on a street, a travel budget,
+// and per-meter movement cost. DP finds the optimal visiting order and
+// set; greedy gets close at a fraction of the cost.
+func Example() {
+	problem := selection.Problem{
+		Start:        geo.Pt(0, 0),
+		MaxDistance:  1200, // 600 s at 2 m/s
+		CostPerMeter: 0.002,
+		Candidates: []selection.Candidate{
+			{ID: 1, Location: geo.Pt(400, 0), Reward: 1.5},
+			{ID: 2, Location: geo.Pt(800, 0), Reward: 2.0},
+			{ID: 3, Location: geo.Pt(400, 300), Reward: 1.0},
+			{ID: 4, Location: geo.Pt(-2000, 0), Reward: 0.5}, // too far to pay off
+		},
+	}
+
+	dpPlan, err := (&selection.DP{}).Select(problem)
+	if err != nil {
+		panic(err)
+	}
+	grPlan, err := (&selection.Greedy{}).Select(problem)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dp:     order %v, profit $%.3f\n", dpPlan.Order, dpPlan.Profit)
+	fmt.Printf("greedy: order %v, profit $%.3f\n", grPlan.Order, grPlan.Profit)
+	// Output:
+	// dp:     order [3 1 2], profit $2.100
+	// greedy: order [1 2], profit $1.900
+}
+
+// ExampleProblem_Validate shows the problem-level input checking.
+func ExampleProblem_Validate() {
+	p := selection.Problem{
+		Start:       geo.Pt(0, 0),
+		MaxDistance: 100,
+		Candidates: []selection.Candidate{
+			{ID: 7, Location: geo.Pt(1, 1), Reward: 1},
+			{ID: 7, Location: geo.Pt(2, 2), Reward: 1},
+		},
+	}
+	fmt.Println(p.Validate())
+	// Output:
+	// selection: duplicate candidate id: 7
+}

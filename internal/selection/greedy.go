@@ -1,0 +1,59 @@
+package selection
+
+import "math"
+
+// Greedy is the paper's efficient task selection heuristic (Section V-B):
+// from its current location the user repeatedly picks the task with the
+// largest marginal profit (reward minus the cost of moving there), subject
+// to the remaining travel budget, until no task yields a positive marginal
+// profit. Complexity O(m^2) (Theorem 3).
+type Greedy struct{}
+
+var _ Algorithm = (*Greedy)(nil)
+
+// Name implements Algorithm.
+func (*Greedy) Name() string { return "greedy" }
+
+// Select implements Algorithm.
+func (*Greedy) Select(p Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	idxs := reachable(p)
+	taken := make([]bool, len(idxs))
+	cur := p.Start
+	budget := p.MaxDistance
+	var order []int
+	for {
+		best := -1
+		bestGain := 0.0
+		bestDist := 0.0
+		for k, idx := range idxs {
+			if taken[k] {
+				continue
+			}
+			c := p.Candidates[idx]
+			d := cur.Dist(c.Location)
+			if d+p.PerTaskDistance > budget {
+				continue
+			}
+			gain := c.Reward - d*p.CostPerMeter
+			// Strictly positive marginal profit, ties broken toward the
+			// closer task for determinism.
+			if gain > bestGain+1e-12 ||
+				(gain > 0 && math.Abs(gain-bestGain) <= 1e-12 && best >= 0 && d < bestDist) {
+				best = k
+				bestGain = gain
+				bestDist = d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		order = append(order, idxs[best])
+		cur = p.Candidates[idxs[best]].Location
+		budget -= bestDist + p.PerTaskDistance
+	}
+	return buildPlan(p, order), nil
+}

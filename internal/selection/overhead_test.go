@@ -1,0 +1,139 @@
+package selection
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/stats"
+	"paydemand/internal/task"
+)
+
+// overheadProblem: three tasks in a line, 100 m apart, generous rewards.
+func overheadProblem(perTask float64) Problem {
+	return Problem{
+		Start:           geo.Pt(0, 0),
+		MaxDistance:     350,
+		CostPerMeter:    0.001,
+		PerTaskDistance: perTask,
+		Candidates: []Candidate{
+			{ID: 1, Location: geo.Pt(100, 0), Reward: 5},
+			{ID: 2, Location: geo.Pt(200, 0), Reward: 5},
+			{ID: 3, Location: geo.Pt(300, 0), Reward: 5},
+		},
+	}
+}
+
+func TestOverheadValidate(t *testing.T) {
+	p := overheadProblem(-1)
+	if err := p.Validate(); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("negative overhead err = %v", err)
+	}
+	p = overheadProblem(math.NaN())
+	if err := p.Validate(); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("NaN overhead err = %v", err)
+	}
+}
+
+func TestOverheadLimitsSelection(t *testing.T) {
+	algs := []Algorithm{&DP{}, &Greedy{}, &BruteForce{}, &TwoOptGreedy{}}
+	for _, alg := range algs {
+		// No overhead: all three tasks fit (300 m travel <= 350).
+		pl, err := alg.Select(overheadProblem(0))
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if pl.Len() != 3 {
+			t.Errorf("%s without overhead selected %d tasks, want 3", alg.Name(), pl.Len())
+		}
+		// 50 m overhead each: 2 tasks consume 200+100 = 300 <= 350, but 3
+		// would consume 300+150 = 450 > 350.
+		pl, err = alg.Select(overheadProblem(50))
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if pl.Len() != 2 {
+			t.Errorf("%s with overhead selected %d tasks, want 2", alg.Name(), pl.Len())
+		}
+	}
+}
+
+func TestOverheadDoesNotCostMoney(t *testing.T) {
+	// Overhead consumes budget but no movement cost: profit must equal
+	// reward - travel*cpm.
+	p := overheadProblem(50)
+	pl, err := (&DP{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProfit := pl.Reward - pl.Distance*p.CostPerMeter
+	if math.Abs(pl.Profit-wantProfit) > 1e-9 {
+		t.Errorf("profit %v != reward - travel cost %v", pl.Profit, wantProfit)
+	}
+}
+
+func TestOverheadUnreachableSingleTask(t *testing.T) {
+	p := Problem{
+		Start:           geo.Pt(0, 0),
+		MaxDistance:     120,
+		PerTaskDistance: 30,
+		Candidates:      []Candidate{{ID: 1, Location: geo.Pt(100, 0), Reward: 5}},
+	}
+	// 100 travel + 30 overhead = 130 > 120: nothing fits.
+	for _, alg := range []Algorithm{&DP{}, &Greedy{}, &BruteForce{}} {
+		pl, err := alg.Select(p)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if !pl.Empty() {
+			t.Errorf("%s selected unreachable task", alg.Name())
+		}
+	}
+}
+
+// TestOverheadDPMatchesBruteForce extends the optimality oracle to
+// problems with per-task overhead.
+func TestOverheadDPMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(404)
+	for trial := 0; trial < 200; trial++ {
+		p := Problem{
+			Start:           geo.Pt(rng.Uniform(0, 1000), rng.Uniform(0, 1000)),
+			MaxDistance:     rng.Uniform(0, 1500),
+			CostPerMeter:    rng.Uniform(0, 0.01),
+			PerTaskDistance: rng.Uniform(0, 200),
+		}
+		n := rng.IntBetween(0, 7)
+		for i := 0; i < n; i++ {
+			p.Candidates = append(p.Candidates, Candidate{
+				ID:       task.ID(i + 1),
+				Location: geo.Pt(rng.Uniform(0, 1000), rng.Uniform(0, 1000)),
+				Reward:   rng.Uniform(0, 5),
+			})
+		}
+		dpPlan, err := (&DP{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfPlan, err := (&BruteForce{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dpPlan.Profit-bfPlan.Profit) > 1e-6 {
+			t.Fatalf("trial %d: DP %v != brute force %v\nproblem %+v", trial, dpPlan.Profit, bfPlan.Profit, p)
+		}
+		if used := p.budgetUsed(dpPlan); used > p.MaxDistance+1e-9 {
+			t.Fatalf("trial %d: DP plan uses %v > budget %v", trial, used, p.MaxDistance)
+		}
+		grPlan, err := (&Greedy{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if used := p.budgetUsed(grPlan); used > p.MaxDistance+1e-9 {
+			t.Fatalf("trial %d: greedy plan uses %v > budget %v", trial, used, p.MaxDistance)
+		}
+		if dpPlan.Profit < grPlan.Profit-1e-9 {
+			t.Fatalf("trial %d: DP %v < greedy %v", trial, dpPlan.Profit, grPlan.Profit)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package selection
+
+import (
+	"math"
+	"testing"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/stats"
+	"paydemand/internal/task"
+)
+
+// randomProblem builds a random instance with up to maxTasks candidates in
+// a 1000x1000 area.
+func randomProblem(rng *stats.RNG, maxTasks int) Problem {
+	n := rng.IntBetween(0, maxTasks)
+	p := Problem{
+		Start:        geo.Pt(rng.Uniform(0, 1000), rng.Uniform(0, 1000)),
+		MaxDistance:  rng.Uniform(0, 1500),
+		CostPerMeter: rng.Uniform(0, 0.01),
+	}
+	for i := 0; i < n; i++ {
+		p.Candidates = append(p.Candidates, Candidate{
+			ID:       task.ID(i + 1),
+			Location: geo.Pt(rng.Uniform(0, 1000), rng.Uniform(0, 1000)),
+			Reward:   rng.Uniform(0, 5),
+		})
+	}
+	return p
+}
+
+// TestDPMatchesBruteForce is the optimality oracle: on hundreds of random
+// small instances the DP must achieve exactly the brute-force profit.
+func TestDPMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(2024)
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng, 7)
+		dpPlan, err := (&DP{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfPlan, err := (&BruteForce{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dpPlan.Profit-bfPlan.Profit) > 1e-6 {
+			t.Fatalf("trial %d: DP profit %v != brute force %v\nproblem: %+v\ndp: %+v\nbf: %+v",
+				trial, dpPlan.Profit, bfPlan.Profit, p, dpPlan, bfPlan)
+		}
+		checkPlanInvariants(t, p, dpPlan)
+		checkPlanInvariants(t, p, bfPlan)
+	}
+}
+
+// TestDPDominatesGreedy: the optimal plan's profit is always at least the
+// greedy plan's (Fig. 5's qualitative claim), and both are non-negative.
+func TestDPDominatesGreedy(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng, 10)
+		dpPlan, err := (&DP{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grPlan, err := (&Greedy{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dpPlan.Profit < 0 || grPlan.Profit < 0 {
+			t.Fatalf("trial %d: negative profit (dp %v, greedy %v)", trial, dpPlan.Profit, grPlan.Profit)
+		}
+		if dpPlan.Profit < grPlan.Profit-1e-9 {
+			t.Fatalf("trial %d: DP profit %v < greedy %v", trial, dpPlan.Profit, grPlan.Profit)
+		}
+		checkPlanInvariants(t, p, grPlan)
+	}
+}
+
+// TestTwoOptNeverWorseThanGreedy: 2-opt keeps the task set but may shorten
+// the walk, so its profit must be >= greedy's and the reward identical.
+func TestTwoOptNeverWorseThanGreedy(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng, 10)
+		grPlan, err := (&Greedy{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toPlan, err := (&TwoOptGreedy{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(toPlan.Reward-grPlan.Reward) > 1e-9 {
+			t.Fatalf("trial %d: 2-opt changed reward %v -> %v", trial, grPlan.Reward, toPlan.Reward)
+		}
+		if toPlan.Profit < grPlan.Profit-1e-9 {
+			t.Fatalf("trial %d: 2-opt profit %v < greedy %v", trial, toPlan.Profit, grPlan.Profit)
+		}
+		if toPlan.Distance > grPlan.Distance+1e-9 {
+			t.Fatalf("trial %d: 2-opt lengthened walk %v -> %v", trial, grPlan.Distance, toPlan.Distance)
+		}
+		checkPlanInvariants(t, p, toPlan)
+	}
+}
+
+// TestDPRewardScalingMonotone: uniformly doubling rewards can only grow
+// the optimal profit.
+func TestDPRewardScalingMonotone(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng, 8)
+		base, err := (&DP{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doubled := p
+		doubled.Candidates = make([]Candidate, len(p.Candidates))
+		copy(doubled.Candidates, p.Candidates)
+		for i := range doubled.Candidates {
+			doubled.Candidates[i].Reward *= 2
+		}
+		richer, err := (&DP{}).Select(doubled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if richer.Profit < base.Profit-1e-9 {
+			t.Fatalf("trial %d: doubling rewards shrank profit %v -> %v", trial, base.Profit, richer.Profit)
+		}
+	}
+}
+
+// TestDPBudgetMonotone: enlarging the travel budget can only grow the
+// optimal profit.
+func TestDPBudgetMonotone(t *testing.T) {
+	rng := stats.NewRNG(63)
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng, 8)
+		small, err := (&DP{}).Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := p
+		p2.MaxDistance *= 2
+		big, err := (&DP{}).Select(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if big.Profit < small.Profit-1e-9 {
+			t.Fatalf("trial %d: larger budget shrank profit %v -> %v", trial, small.Profit, big.Profit)
+		}
+	}
+}

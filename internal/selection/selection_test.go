@@ -1,0 +1,349 @@
+package selection
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/task"
+)
+
+func simpleProblem() Problem {
+	return Problem{
+		Start:        geo.Pt(0, 0),
+		MaxDistance:  1000,
+		CostPerMeter: 0.002,
+		Candidates: []Candidate{
+			{ID: 1, Location: geo.Pt(100, 0), Reward: 2},
+			{ID: 2, Location: geo.Pt(200, 0), Reward: 2},
+			{ID: 3, Location: geo.Pt(0, 300), Reward: 1},
+		},
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := simpleProblem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dup := simpleProblem()
+	dup.Candidates = append(dup.Candidates, Candidate{ID: 1, Location: geo.Pt(5, 5), Reward: 1})
+	if err := dup.Validate(); !errors.Is(err, ErrDuplicateCandidate) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	bad := simpleProblem()
+	bad.Start = geo.Pt(math.NaN(), 0)
+	if err := bad.Validate(); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("NaN start err = %v", err)
+	}
+	bad = simpleProblem()
+	bad.CostPerMeter = -1
+	if err := bad.Validate(); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("negative cost err = %v", err)
+	}
+	bad = simpleProblem()
+	bad.Candidates[0].Reward = math.NaN()
+	if err := bad.Validate(); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("NaN reward err = %v", err)
+	}
+	bad = simpleProblem()
+	bad.MaxDistance = math.NaN()
+	if err := bad.Validate(); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("NaN budget err = %v", err)
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	var pl Plan
+	if !pl.Empty() || pl.Len() != 0 {
+		t.Error("zero Plan not empty")
+	}
+}
+
+// checkPlanInvariants verifies the accounting identities every solver must
+// maintain.
+func checkPlanInvariants(t *testing.T, p Problem, pl Plan) {
+	t.Helper()
+	if pl.Empty() {
+		if pl.Distance != 0 || pl.Reward != 0 || pl.Profit != 0 || len(pl.Path) != 0 {
+			t.Fatalf("empty plan with non-zero accounting: %+v", pl)
+		}
+		return
+	}
+	if len(pl.Path) != len(pl.Order)+1 {
+		t.Fatalf("path has %d points for %d tasks", len(pl.Path), len(pl.Order))
+	}
+	if !pl.Path[0].Equal(p.Start) {
+		t.Fatalf("path does not start at user location")
+	}
+	if math.Abs(pl.Path.Length()-pl.Distance) > 1e-9 {
+		t.Fatalf("Distance %v != path length %v", pl.Distance, pl.Path.Length())
+	}
+	if pl.Distance > p.MaxDistance+1e-9 {
+		t.Fatalf("plan distance %v exceeds budget %v", pl.Distance, p.MaxDistance)
+	}
+	if math.Abs(pl.Cost-pl.Distance*p.CostPerMeter) > 1e-9 {
+		t.Fatalf("Cost %v != distance*cpm", pl.Cost)
+	}
+	if math.Abs(pl.Profit-(pl.Reward-pl.Cost)) > 1e-9 {
+		t.Fatalf("Profit %v != reward-cost", pl.Profit)
+	}
+	seen := map[task.ID]bool{}
+	rewardByID := map[task.ID]float64{}
+	for _, c := range p.Candidates {
+		rewardByID[c.ID] = c.Reward
+	}
+	total := 0.0
+	for _, id := range pl.Order {
+		if seen[id] {
+			t.Fatalf("task %d visited twice", id)
+		}
+		seen[id] = true
+		r, ok := rewardByID[id]
+		if !ok {
+			t.Fatalf("plan visits unknown task %d", id)
+		}
+		total += r
+	}
+	if math.Abs(total-pl.Reward) > 1e-9 {
+		t.Fatalf("Reward %v != sum of candidate rewards %v", pl.Reward, total)
+	}
+}
+
+func TestDPSimple(t *testing.T) {
+	p := simpleProblem()
+	pl, err := (&DP{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, p, pl)
+	// Tasks 1 and 2 lie on a line (100 then 200 away); visiting both costs
+	// 200 m = $0.4 for $4 reward. Task 3 costs a long detour for $1:
+	// from (200,0) to (0,300) is ~360 m = $0.72 < $1, so the optimal plan
+	// takes all three.
+	if pl.Len() != 3 {
+		t.Fatalf("DP selected %d tasks (%v), want 3", pl.Len(), pl.Order)
+	}
+	if pl.Order[0] != 1 || pl.Order[1] != 2 || pl.Order[2] != 3 {
+		t.Errorf("DP order = %v, want [1 2 3]", pl.Order)
+	}
+}
+
+func TestDPRespectsBudget(t *testing.T) {
+	p := simpleProblem()
+	p.MaxDistance = 150 // only task 1 reachable
+	pl, err := (&DP{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, p, pl)
+	if pl.Len() != 1 || pl.Order[0] != 1 {
+		t.Errorf("plan = %v, want just task 1", pl.Order)
+	}
+}
+
+func TestDPEmptyWhenNothingProfitable(t *testing.T) {
+	p := Problem{
+		Start:        geo.Pt(0, 0),
+		MaxDistance:  10000,
+		CostPerMeter: 1, // $1/m: every task costs far more than it pays
+		Candidates: []Candidate{
+			{ID: 1, Location: geo.Pt(100, 0), Reward: 2},
+		},
+	}
+	pl, err := (&DP{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Empty() {
+		t.Errorf("unprofitable problem yielded plan %v with profit %v", pl.Order, pl.Profit)
+	}
+}
+
+func TestDPZeroBudget(t *testing.T) {
+	p := simpleProblem()
+	p.MaxDistance = 0
+	pl, err := (&DP{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Empty() {
+		t.Errorf("zero budget yielded %v", pl.Order)
+	}
+}
+
+func TestDPTaskAtStartLocation(t *testing.T) {
+	p := Problem{
+		Start:        geo.Pt(50, 50),
+		MaxDistance:  0,
+		CostPerMeter: 0.002,
+		Candidates:   []Candidate{{ID: 1, Location: geo.Pt(50, 50), Reward: 1}},
+	}
+	pl, err := (&DP{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Len() != 1 || pl.Profit != 1 {
+		t.Errorf("task at start: plan %v profit %v", pl.Order, pl.Profit)
+	}
+}
+
+func TestDPNoCandidates(t *testing.T) {
+	p := Problem{Start: geo.Pt(0, 0), MaxDistance: 100, CostPerMeter: 0.002}
+	pl, err := (&DP{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Empty() {
+		t.Error("no candidates yielded a plan")
+	}
+}
+
+func TestDPTooManyTasks(t *testing.T) {
+	p := Problem{Start: geo.Pt(0, 0), MaxDistance: 1e9, CostPerMeter: 0}
+	for i := 0; i < 12; i++ {
+		p.Candidates = append(p.Candidates, Candidate{
+			ID: task.ID(i), Location: geo.Pt(float64(i), 0), Reward: 1,
+		})
+	}
+	if _, err := (&DP{MaxTasks: 10}).Select(p); !errors.Is(err, ErrTooManyTasks) {
+		t.Errorf("12 tasks with cap 10 err = %v", err)
+	}
+	// A higher cap accepts it.
+	if _, err := (&DP{MaxTasks: 12}).Select(p); err != nil {
+		t.Errorf("raised cap err = %v", err)
+	}
+}
+
+func TestDPSkipsNegativeRewardTasks(t *testing.T) {
+	p := simpleProblem()
+	p.Candidates = append(p.Candidates, Candidate{ID: 9, Location: geo.Pt(10, 10), Reward: -5})
+	pl, err := (&DP{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range pl.Order {
+		if id == 9 {
+			t.Error("DP selected a negative-reward task")
+		}
+	}
+}
+
+func TestGreedySimple(t *testing.T) {
+	p := simpleProblem()
+	pl, err := (&Greedy{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, p, pl)
+	if pl.Empty() {
+		t.Fatal("greedy found nothing")
+	}
+	// Greedy picks the highest marginal profit first: task 1 (2 - 0.2).
+	if pl.Order[0] != 1 {
+		t.Errorf("greedy first pick = %v, want 1", pl.Order[0])
+	}
+}
+
+func TestGreedyStopsAtBudget(t *testing.T) {
+	p := simpleProblem()
+	p.MaxDistance = 250
+	pl, err := (&Greedy{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, p, pl)
+	if pl.Distance > 250 {
+		t.Errorf("greedy overspent budget: %v", pl.Distance)
+	}
+}
+
+func TestGreedyNeverNegativeProfit(t *testing.T) {
+	p := Problem{
+		Start:        geo.Pt(0, 0),
+		MaxDistance:  10000,
+		CostPerMeter: 0.05,
+		Candidates: []Candidate{
+			{ID: 1, Location: geo.Pt(1000, 0), Reward: 2}, // costs 50 to reach
+		},
+	}
+	pl, err := (&Greedy{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Empty() {
+		t.Errorf("greedy accepted negative-profit task: %+v", pl)
+	}
+}
+
+func TestGreedyDeterministicTieBreak(t *testing.T) {
+	// Two tasks with identical marginal profit; the closer one must win.
+	// Equal rewards and equal distances would tie fully, so use equal
+	// profit at different distances.
+	p := Problem{
+		Start:        geo.Pt(0, 0),
+		MaxDistance:  1000,
+		CostPerMeter: 0.01,
+		Candidates: []Candidate{
+			{ID: 1, Location: geo.Pt(200, 0), Reward: 3}, // gain 1
+			{ID: 2, Location: geo.Pt(100, 0), Reward: 2}, // gain 1
+		},
+	}
+	pl, err := (&Greedy{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Empty() || pl.Order[0] != 2 {
+		t.Errorf("tie not broken toward closer task: %v", pl.Order)
+	}
+}
+
+func TestAutoMatchesDPOnSmall(t *testing.T) {
+	p := simpleProblem()
+	auto, err := (&Auto{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := (&DP{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auto.Profit-dp.Profit) > 1e-9 {
+		t.Errorf("auto profit %v != dp %v", auto.Profit, dp.Profit)
+	}
+}
+
+func TestAutoFallsBackToGreedy(t *testing.T) {
+	p := Problem{Start: geo.Pt(0, 0), MaxDistance: 1e9, CostPerMeter: 0}
+	for i := 0; i < 30; i++ {
+		p.Candidates = append(p.Candidates, Candidate{
+			ID: task.ID(i), Location: geo.Pt(float64(i*10), 0), Reward: 1,
+		})
+	}
+	pl, err := (&Auto{Threshold: 10}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Len() != 30 {
+		t.Errorf("auto-greedy selected %d of 30 free tasks", pl.Len())
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	tests := []struct {
+		alg  Algorithm
+		want string
+	}{
+		{&DP{}, "dp"},
+		{&Greedy{}, "greedy"},
+		{&BruteForce{}, "brute-force"},
+		{&TwoOptGreedy{}, "greedy+2opt"},
+		{&Auto{}, "auto"},
+	}
+	for _, tt := range tests {
+		if got := tt.alg.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}

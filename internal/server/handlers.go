@@ -1,0 +1,257 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"paydemand/internal/aggregate"
+	"paydemand/internal/reputation"
+	"paydemand/internal/task"
+	"paydemand/internal/wire"
+)
+
+// maxBodyBytes bounds request bodies; crowdsensing uploads are small.
+const maxBodyBytes = 1 << 20
+
+// budgetTol absorbs floating-point accumulation error in the hard budget
+// comparison.
+const budgetTol = 1e-9
+
+// writeJSON writes v with the given status.
+func (p *Platform) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		p.logger.Error("encode response", "err", err)
+	}
+}
+
+// writeError writes a JSON error body.
+func (p *Platform) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	p.writeJSON(w, status, wire.Error{Message: fmt.Sprintf(format, args...)})
+}
+
+// decode parses a bounded JSON request body.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// handleRegister assigns a worker ID and records the starting location.
+func (p *Platform) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req wire.RegisterRequest
+	if err := decode(r, &req); err != nil {
+		p.writeError(w, http.StatusBadRequest, "bad register body: %v", err)
+		return
+	}
+	if !req.Location.IsFinite() {
+		p.writeError(w, http.StatusBadRequest, "non-finite location")
+		return
+	}
+	p.mu.Lock()
+	p.nextID++
+	id := p.nextID
+	p.workers[id] = req.Location
+	p.mu.Unlock()
+	p.logger.Info("worker registered", "user_id", id)
+	p.writeJSON(w, http.StatusOK, wire.RegisterResponse{UserID: id})
+}
+
+// handleRound publishes the current round.
+func (p *Platform) handleRound(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	info := p.roundInfoLocked()
+	p.mu.Unlock()
+	p.writeJSON(w, http.StatusOK, info)
+}
+
+// handleSubmit accepts a worker's measurements for the current round.
+func (p *Platform) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req wire.SubmitRequest
+	if err := decode(r, &req); err != nil {
+		p.writeError(w, http.StatusBadRequest, "bad submit body: %v", err)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if _, known := p.workers[req.UserID]; !known {
+		p.writeError(w, http.StatusNotFound, "unknown worker %d", req.UserID)
+		return
+	}
+	if p.done {
+		p.writeError(w, http.StatusConflict, "campaign is done")
+		return
+	}
+	if req.Round != p.round {
+		p.writeError(w, http.StatusConflict, "stale round %d, current is %d", req.Round, p.round)
+		return
+	}
+	if req.Location.IsFinite() {
+		p.workers[req.UserID] = req.Location
+	}
+
+	resp := wire.SubmitResponse{}
+	for _, m := range req.Measurements {
+		res := wire.SubmitResult{TaskID: m.TaskID}
+		st := p.board.Get(m.TaskID)
+		switch {
+		case st == nil:
+			res.Reason = "unknown task"
+		default:
+			reward, priced := p.rewards[m.TaskID]
+			if !priced {
+				res.Reason = "task not published this round"
+				break
+			}
+			if p.cfg.HardBudget > 0 && p.board.TotalRewardPaid()+reward > p.cfg.HardBudget+budgetTol {
+				res.Reason = "budget exhausted"
+				break
+			}
+			if err := st.Record(req.UserID, p.round, reward); err != nil {
+				res.Reason = recordReason(err)
+				break
+			}
+			res.Accepted = true
+			res.Reward = reward
+			resp.TotalPaid += reward
+			p.contribs[m.TaskID] = append(p.contribs[m.TaskID], reputation.Contribution{
+				User:  req.UserID,
+				Value: m.Value,
+			})
+			if p.cfg.Reputation != nil && st.Complete() {
+				p.scoreContributorsLocked(m.TaskID)
+			}
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	p.logger.Info("submission",
+		"user_id", req.UserID, "round", p.round,
+		"uploaded", len(req.Measurements), "paid", resp.TotalPaid)
+	p.writeJSON(w, http.StatusOK, resp)
+}
+
+// recordReason maps task.Record errors to stable protocol strings.
+func recordReason(err error) string {
+	switch {
+	case errors.Is(err, task.ErrAlreadyContributed):
+		return "already contributed"
+	case errors.Is(err, task.ErrCompleted):
+		return "task complete"
+	case errors.Is(err, task.ErrExpired):
+		return "task expired"
+	default:
+		return err.Error()
+	}
+}
+
+// handleAdvance moves to the next round.
+func (p *Platform) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	round, done, err := p.Advance()
+	if err != nil {
+		p.writeError(w, http.StatusInternalServerError, "advance: %v", err)
+		return
+	}
+	p.writeJSON(w, http.StatusOK, wire.AdvanceResponse{Round: round, Done: done})
+}
+
+// handleStatus reports the platform's metric snapshot.
+func (p *Platform) handleStatus(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	resp := wire.StatusResponse{
+		Round:                   p.round,
+		Done:                    p.done,
+		Workers:                 len(p.workers),
+		OpenTasks:               len(p.board.OpenAt(p.round)),
+		TotalMeasurements:       p.board.TotalReceived(),
+		Coverage:                p.board.Coverage(),
+		OverallCompleteness:     p.board.OverallCompleteness(),
+		TotalRewardPaid:         p.board.TotalRewardPaid(),
+		AvgRewardPerMeasurement: p.board.AverageRewardPerMeasurement(),
+	}
+	p.mu.Unlock()
+	p.writeJSON(w, http.StatusOK, resp)
+}
+
+// scoreContributorsLocked updates the reputation of every contributor of
+// a completed task against the aggregated consensus. Callers hold p.mu.
+func (p *Platform) scoreContributorsLocked(id task.ID) {
+	est, err := aggregate.Aggregate(p.cfg.Aggregation, p.valuesLocked(id))
+	if err != nil {
+		p.logger.Error("reputation aggregate", "task", id, "err", err)
+		return
+	}
+	p.cfg.Reputation.ObserveTask(p.contribs[id], est.Value, p.cfg.ReputationTolerance)
+}
+
+// handleReputation returns the reputation score for ?user=ID.
+func (p *Platform) handleReputation(w http.ResponseWriter, r *http.Request) {
+	if p.cfg.Reputation == nil {
+		p.writeError(w, http.StatusNotFound, "reputation tracking disabled")
+		return
+	}
+	raw := r.URL.Query().Get("user")
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		p.writeError(w, http.StatusBadRequest, "bad user id %q", raw)
+		return
+	}
+	p.mu.Lock()
+	_, known := p.workers[id]
+	score := p.cfg.Reputation.Score(id)
+	obs := p.cfg.Reputation.Observations(id)
+	p.mu.Unlock()
+	if !known {
+		p.writeError(w, http.StatusNotFound, "unknown worker %d", id)
+		return
+	}
+	p.writeJSON(w, http.StatusOK, wire.ReputationResponse{
+		UserID:       id,
+		Score:        score,
+		Observations: obs,
+	})
+}
+
+// handleEstimate returns the aggregated estimate for ?task=ID.
+func (p *Platform) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("task")
+	if raw == "" {
+		p.writeError(w, http.StatusBadRequest, "missing task parameter")
+		return
+	}
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		p.writeError(w, http.StatusBadRequest, "bad task id %q", raw)
+		return
+	}
+	if p.board.Get(task.ID(id)) == nil {
+		p.writeError(w, http.StatusNotFound, "unknown task %d", id)
+		return
+	}
+	est, err := p.Estimate(task.ID(id))
+	if err != nil {
+		if errors.Is(err, aggregate.ErrNoData) {
+			p.writeError(w, http.StatusNotFound, "task %d has no measurements", id)
+			return
+		}
+		p.writeError(w, http.StatusInternalServerError, "aggregate: %v", err)
+		return
+	}
+	p.writeJSON(w, http.StatusOK, wire.EstimateResponse{
+		TaskID:        task.ID(id),
+		Value:         est.Value,
+		N:             est.N,
+		Rejected:      est.Rejected,
+		StdDev:        est.StdDev,
+		MarginOfError: est.MarginOfError,
+	})
+}
+
+// handleHealth is the liveness probe.
+func (p *Platform) handleHealth(w http.ResponseWriter, r *http.Request) {
+	p.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

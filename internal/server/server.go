@@ -1,0 +1,253 @@
+// Package server implements the crowdsensing platform as an HTTP service:
+// it publishes the open tasks with demand-priced rewards each round,
+// registers workers, accepts measurement uploads, and advances rounds,
+// realizing the platform half of the paper's Fig. 1 loop over a real
+// network.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+
+	"paydemand/internal/aggregate"
+	"paydemand/internal/geo"
+	"paydemand/internal/incentive"
+	"paydemand/internal/reputation"
+	"paydemand/internal/task"
+	"paydemand/internal/wire"
+)
+
+// Config parameterizes the platform.
+type Config struct {
+	// Tasks are the campaign's sensing tasks.
+	Tasks []task.Task
+	// Mechanism prices the tasks each round.
+	Mechanism incentive.Mechanism
+	// Area bounds the sensing region (used by the neighbor index).
+	Area geo.Rect
+	// NeighborRadius is the radius R for the neighbor-count demand factor.
+	NeighborRadius float64
+	// MaxRounds caps the campaign length; zero means the largest deadline.
+	MaxRounds int
+	// HardBudget, when positive, caps the total reward the platform will
+	// ever pay: a measurement whose reward would push payouts past the cap
+	// is rejected with reason "budget exhausted". The paper's on-demand
+	// scheme never needs this (Eq. 8 bounds its worst case), but
+	// unconstrained mechanisms such as the raw steered rewards do.
+	HardBudget float64
+	// Aggregation selects how /v1/estimate reduces a task's measurements;
+	// the zero value means robust (MAD outlier-rejecting) mean.
+	Aggregation aggregate.Config
+	// Reputation, when non-nil, tracks each worker's sensing quality: on
+	// every task completion, contributors' readings are compared with the
+	// aggregated consensus and their scores updated. Served at
+	// GET /v1/reputation.
+	Reputation *reputation.Tracker
+	// ReputationTolerance is the deviation scale used when scoring
+	// agreement (see reputation.Agreement); zero means 5.
+	ReputationTolerance float64
+	// Logger receives operational logs; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// Platform is the HTTP crowdsensing platform. Create with New; it
+// implements http.Handler and is safe for concurrent use.
+type Platform struct {
+	cfg    Config
+	logger *slog.Logger
+	mux    *http.ServeMux
+
+	mu      sync.Mutex
+	board   *task.Board
+	round   int
+	done    bool
+	rewards map[task.ID]float64
+	workers map[int]geo.Point // worker id -> last known location
+	nextID  int
+	// contribs stores who uploaded what per task, for aggregation (e.g.
+	// building a noise map) and reputation scoring.
+	contribs map[task.ID][]reputation.Contribution
+}
+
+// New validates the configuration and builds the platform, publishing
+// round 1.
+func New(cfg Config) (*Platform, error) {
+	if cfg.Mechanism == nil {
+		return nil, errors.New("server: nil mechanism")
+	}
+	if !cfg.Area.Valid() || cfg.Area.Area() == 0 {
+		return nil, fmt.Errorf("server: invalid area %v", cfg.Area)
+	}
+	if cfg.NeighborRadius <= 0 {
+		return nil, fmt.Errorf("server: neighbor radius %v, want > 0", cfg.NeighborRadius)
+	}
+	if err := cfg.Aggregation.Validate(); err != nil {
+		return nil, err
+	}
+	board, err := task.NewBoard(cfg.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if cfg.ReputationTolerance == 0 {
+		cfg.ReputationTolerance = 5
+	}
+	if cfg.ReputationTolerance < 0 {
+		return nil, fmt.Errorf("server: reputation tolerance %v, want > 0", cfg.ReputationTolerance)
+	}
+	p := &Platform{
+		cfg:      cfg,
+		logger:   logger,
+		board:    board,
+		round:    1,
+		workers:  make(map[int]geo.Point),
+		contribs: make(map[task.ID][]reputation.Contribution),
+	}
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("POST "+wire.PathRegister, p.handleRegister)
+	p.mux.HandleFunc("GET "+wire.PathRound, p.handleRound)
+	p.mux.HandleFunc("POST "+wire.PathSubmit, p.handleSubmit)
+	p.mux.HandleFunc("POST "+wire.PathAdvance, p.handleAdvance)
+	p.mux.HandleFunc("GET "+wire.PathStatus, p.handleStatus)
+	p.mux.HandleFunc("GET "+wire.PathHealth, p.handleHealth)
+	p.mux.HandleFunc("GET "+wire.PathEstimate, p.handleEstimate)
+	p.mux.HandleFunc("GET "+wire.PathReputation, p.handleReputation)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.repriceLocked(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Platform) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mux.ServeHTTP(w, r)
+}
+
+// maxRounds resolves the campaign horizon.
+func (p *Platform) maxRounds() int {
+	if p.cfg.MaxRounds > 0 {
+		return p.cfg.MaxRounds
+	}
+	return p.board.MaxDeadline()
+}
+
+// repriceLocked recomputes the current round's rewards. Callers must hold
+// p.mu.
+func (p *Platform) repriceLocked() error {
+	open := p.board.OpenAt(p.round)
+	if len(open) == 0 {
+		p.rewards = nil
+		return nil
+	}
+	locs := make([]geo.Point, 0, len(p.workers))
+	for _, loc := range p.workers {
+		locs = append(locs, loc)
+	}
+	grid, err := geo.NewGridIndex(p.cfg.Area, p.cfg.NeighborRadius, locs)
+	if err != nil {
+		return err
+	}
+	views := make([]incentive.TaskView, len(open))
+	for i, st := range open {
+		views[i] = incentive.TaskView{
+			ID:        st.ID,
+			Location:  st.Location,
+			Deadline:  st.Deadline,
+			Required:  st.Required,
+			Received:  st.Received(),
+			Neighbors: grid.CountWithin(st.Location, p.cfg.NeighborRadius),
+		}
+	}
+	rewards, err := p.cfg.Mechanism.Rewards(p.round, views)
+	if err != nil {
+		return err
+	}
+	p.rewards = rewards
+	return nil
+}
+
+// Advance moves the platform to the next round, recomputing rewards. It
+// returns the new round number and whether the campaign is done. Exposed
+// for in-process drivers; the HTTP endpoint wraps it.
+func (p *Platform) Advance() (round int, done bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return p.round, true, nil
+	}
+	p.round++
+	if p.round > p.maxRounds() || p.board.AllSettledAt(p.round) {
+		p.done = true
+		p.rewards = nil
+		p.logger.Info("campaign done", "round", p.round)
+		return p.round, true, nil
+	}
+	if err := p.repriceLocked(); err != nil {
+		return p.round, false, err
+	}
+	p.logger.Info("round advanced", "round", p.round, "open_tasks", len(p.rewards))
+	return p.round, false, nil
+}
+
+// Round returns the currently published round snapshot (for in-process
+// drivers and tests).
+func (p *Platform) Round() wire.RoundInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.roundInfoLocked()
+}
+
+func (p *Platform) roundInfoLocked() wire.RoundInfo {
+	info := wire.RoundInfo{Round: p.round, Done: p.done}
+	for _, st := range p.board.OpenAt(p.round) {
+		reward, ok := p.rewards[st.ID]
+		if !ok {
+			continue
+		}
+		info.Tasks = append(info.Tasks, wire.TaskInfo{
+			ID:       st.ID,
+			Location: st.Location,
+			Deadline: st.Deadline,
+			Required: st.Required,
+			Received: st.Received(),
+			Reward:   reward,
+		})
+	}
+	return info
+}
+
+// Board exposes the platform's task board for inspection (aggregation,
+// metrics). The caller must not mutate it concurrently with serving.
+func (p *Platform) Board() *task.Board { return p.board }
+
+// Values returns a copy of the uploaded measurement values for a task.
+func (p *Platform) Values(id task.ID) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.valuesLocked(id)
+}
+
+func (p *Platform) valuesLocked(id task.ID) []float64 {
+	cs := p.contribs[id]
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.Value
+	}
+	return out
+}
+
+// Estimate aggregates a task's uploaded values with the configured
+// estimator. It returns aggregate.ErrNoData if the task has no
+// measurements yet.
+func (p *Platform) Estimate(id task.ID) (aggregate.Estimate, error) {
+	return aggregate.Aggregate(p.cfg.Aggregation, p.Values(id))
+}

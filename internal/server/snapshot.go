@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/reputation"
+	"paydemand/internal/task"
+)
+
+// Snapshot is the platform's serializable campaign state, sufficient to
+// resume a campaign after a restart (task progress, current round, worker
+// registry, uploaded values). Mechanism and configuration are NOT part of
+// the snapshot; the restarted platform must be constructed with the same
+// Config.
+type Snapshot struct {
+	// Version guards against incompatible snapshot formats.
+	Version int `json:"version"`
+	// Round is the current sensing round.
+	Round int `json:"round"`
+	// Done reports a finished campaign.
+	Done bool `json:"done"`
+	// NextWorkerID continues worker ID assignment.
+	NextWorkerID int `json:"next_worker_id"`
+	// Workers maps worker IDs to their last known locations.
+	Workers map[int]geo.Point `json:"workers"`
+	// Board is the task progress.
+	Board task.BoardSnapshot `json:"board"`
+	// Contributions are the uploaded readings per task.
+	Contributions map[task.ID][]reputation.Contribution `json:"contributions,omitempty"`
+}
+
+// snapshotVersion is the current format.
+const snapshotVersion = 1
+
+// Snapshot captures the platform's campaign state.
+func (p *Platform) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := Snapshot{
+		Version:       snapshotVersion,
+		Round:         p.round,
+		Done:          p.done,
+		NextWorkerID:  p.nextID,
+		Workers:       make(map[int]geo.Point, len(p.workers)),
+		Board:         p.board.Snapshot(),
+		Contributions: make(map[task.ID][]reputation.Contribution, len(p.contribs)),
+	}
+	for id, loc := range p.workers {
+		snap.Workers[id] = loc
+	}
+	for id, cs := range p.contribs {
+		snap.Contributions[id] = append([]reputation.Contribution(nil), cs...)
+	}
+	return snap
+}
+
+// Restore replaces the platform's campaign state with the snapshot and
+// reprices the current round. The platform must have been constructed
+// with the same task set (IDs are cross-checked).
+func (p *Platform) Restore(snap Snapshot) error {
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("server: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.Round < 1 {
+		return fmt.Errorf("server: snapshot round %d, want >= 1", snap.Round)
+	}
+	board, err := task.RestoreBoard(snap.Board)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if board.Len() != p.board.Len() {
+		return fmt.Errorf("server: snapshot has %d tasks, platform configured with %d",
+			board.Len(), p.board.Len())
+	}
+	for _, id := range p.board.IDs() {
+		if board.Get(id) == nil {
+			return fmt.Errorf("server: snapshot missing task %d", id)
+		}
+	}
+	p.board = board
+	p.round = snap.Round
+	p.done = snap.Done
+	p.nextID = snap.NextWorkerID
+	p.workers = make(map[int]geo.Point, len(snap.Workers))
+	for id, loc := range snap.Workers {
+		p.workers[id] = loc
+	}
+	p.contribs = make(map[task.ID][]reputation.Contribution, len(snap.Contributions))
+	for id, cs := range snap.Contributions {
+		p.contribs[id] = append([]reputation.Contribution(nil), cs...)
+	}
+	if p.done {
+		p.rewards = nil
+		return nil
+	}
+	return p.repriceLocked()
+}
+
+// WriteSnapshot serializes the current campaign state as JSON to w.
+func (p *Platform) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Snapshot())
+}
+
+// ReadSnapshot parses a snapshot previously written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return Snapshot{}, fmt.Errorf("server: parse snapshot: %w", err)
+	}
+	return snap, nil
+}

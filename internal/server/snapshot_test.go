@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/wire"
+)
+
+// runSomeCampaign drives a platform partway: two workers, some uploads,
+// one advance.
+func runSomeCampaign(t *testing.T, p *Platform) {
+	t.Helper()
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		var reg wire.RegisterResponse
+		doJSON(t, srv, http.MethodPost, wire.PathRegister, wire.RegisterRequest{Location: geo.Pt(float64(i), 0)}, &reg)
+		doJSON(t, srv, http.MethodPost, wire.PathSubmit, wire.SubmitRequest{
+			UserID:       reg.UserID,
+			Round:        1,
+			Measurements: []wire.Measurement{{TaskID: 1, Value: 50 + float64(i)}},
+			Location:     geo.Pt(float64(i), 0),
+		}, nil)
+	}
+	doJSON(t, srv, http.MethodPost, wire.PathAdvance, struct{}{}, nil)
+}
+
+func TestSnapshotRestoreResumesCampaign(t *testing.T) {
+	original := testPlatform(t)
+	runSomeCampaign(t, original)
+
+	var sb strings.Builder
+	if err := original.WriteSnapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restarted := testPlatform(t)
+	if err := restarted.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same round, same progress, same worker registry.
+	origRound := original.Round()
+	newRound := restarted.Round()
+	if newRound.Round != origRound.Round {
+		t.Errorf("round %d != %d", newRound.Round, origRound.Round)
+	}
+	if got, want := restarted.Board().TotalReceived(), original.Board().TotalReceived(); got != want {
+		t.Errorf("received %d != %d", got, want)
+	}
+	if got, want := restarted.Board().TotalRewardPaid(), original.Board().TotalRewardPaid(); got != want {
+		t.Errorf("paid %v != %v", got, want)
+	}
+	if got, want := restarted.Values(1), original.Values(1); len(got) != len(want) {
+		t.Errorf("values %v != %v", got, want)
+	}
+
+	// The restarted platform keeps serving: an existing worker can upload
+	// to a still-open task; the once-per-user rule survived.
+	srv := httptest.NewServer(restarted)
+	defer srv.Close()
+	var resp wire.SubmitResponse
+	doJSON(t, srv, http.MethodPost, wire.PathSubmit, wire.SubmitRequest{
+		UserID:       1,
+		Round:        newRound.Round,
+		Measurements: []wire.Measurement{{TaskID: 1, Value: 60}},
+		Location:     geo.Pt(0, 0),
+	}, &resp)
+	if resp.Results[0].Accepted {
+		t.Error("restored platform forgot user 1 already did task 1")
+	}
+	var resp2 wire.SubmitResponse
+	doJSON(t, srv, http.MethodPost, wire.PathSubmit, wire.SubmitRequest{
+		UserID:       2,
+		Round:        newRound.Round,
+		Measurements: []wire.Measurement{{TaskID: 2, Value: 60}},
+		Location:     geo.Pt(0, 0),
+	}, &resp2)
+	if !resp2.Results[0].Accepted {
+		t.Errorf("restored platform rejected a legitimate upload: %+v", resp2.Results[0])
+	}
+	// New workers continue the ID sequence.
+	var reg wire.RegisterResponse
+	doJSON(t, srv, http.MethodPost, wire.PathRegister, wire.RegisterRequest{}, &reg)
+	if reg.UserID != 3 {
+		t.Errorf("next worker id = %d, want 3", reg.UserID)
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	p := testPlatform(t)
+	if err := p.Restore(Snapshot{Version: 99, Round: 1}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if err := p.Restore(Snapshot{Version: snapshotVersion, Round: 0}); err == nil {
+		t.Error("round 0 accepted")
+	}
+	// Mismatched task set.
+	other := Snapshot{Version: snapshotVersion, Round: 1}
+	other.Board = testPlatform(t).Board().Snapshot()
+	other.Board.Tasks = other.Board.Tasks[:1]
+	if err := p.Restore(other); err == nil {
+		t.Error("snapshot with missing tasks accepted")
+	}
+}
+
+func TestReadSnapshotGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("{broken")); err == nil {
+		t.Error("garbage snapshot parsed")
+	}
+}
+
+func TestSnapshotDoneCampaign(t *testing.T) {
+	p := testPlatform(t)
+	for i := 0; i < 10; i++ {
+		if _, done, err := p.Advance(); err != nil {
+			t.Fatal(err)
+		} else if done {
+			break
+		}
+	}
+	snap := p.Snapshot()
+	if !snap.Done {
+		t.Fatal("campaign not done")
+	}
+	fresh := testPlatform(t)
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if info := fresh.Round(); !info.Done || len(info.Tasks) != 0 {
+		t.Errorf("restored done campaign publishes: %+v", info)
+	}
+}

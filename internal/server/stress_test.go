@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"paydemand/internal/demand"
+	"paydemand/internal/geo"
+	"paydemand/internal/incentive"
+	"paydemand/internal/task"
+	"paydemand/internal/wire"
+)
+
+// discardLogger silences platform logs in tests.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// jsonBody marshals v into a request body reader.
+func jsonBody(v any) (io.Reader, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(b), nil
+}
+
+// TestConcurrentSubmissions hammers one platform with parallel uploads
+// and advances, then checks every invariant still holds. Run with -race
+// to catch locking mistakes.
+func TestConcurrentSubmissions(t *testing.T) {
+	scheme, err := incentive.SchemeFromBudget(1000, 40, 0.5, demand.LevelMapper{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := incentive.NewPaperOnDemand(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]task.Task, 8)
+	for i := range tasks {
+		tasks[i] = task.Task{
+			ID:       task.ID(i + 1),
+			Location: geo.Pt(float64(i*100), float64(i*100)),
+			Deadline: 10,
+			Required: 5,
+		}
+	}
+	p, err := New(Config{
+		Tasks:          tasks,
+		Mechanism:      mech,
+		Area:           geo.Square(1000),
+		NeighborRadius: 300,
+		Logger:         discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+
+	const nWorkers = 24
+	ids := make([]int, nWorkers)
+	for i := range ids {
+		var reg wire.RegisterResponse
+		doJSON(t, srv, http.MethodPost, wire.PathRegister, wire.RegisterRequest{Location: geo.Pt(1, 1)}, &reg)
+		ids[i] = reg.UserID
+	}
+
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 1; round <= 3; round++ {
+				req := wire.SubmitRequest{UserID: id, Round: round, Location: geo.Pt(1, 1)}
+				for tid := 1; tid <= len(tasks); tid++ {
+					req.Measurements = append(req.Measurements, wire.Measurement{
+						TaskID: task.ID(tid), Value: float64(tid),
+					})
+				}
+				body, _ := jsonBody(req)
+				resp, err := srv.Client().Post(srv.URL+wire.PathSubmit, "application/json", body)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Concurrent advances and status reads while uploads fly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			resp, err := srv.Client().Post(srv.URL+wire.PathAdvance, "application/json", nil)
+			if err == nil {
+				resp.Body.Close()
+			}
+			resp2, err := srv.Client().Get(srv.URL + wire.PathStatus)
+			if err == nil {
+				resp2.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+
+	for _, st := range p.Board().States() {
+		if st.Received() > st.Required {
+			t.Errorf("task %d over-filled: %d > %d", st.ID, st.Received(), st.Required)
+		}
+		if st.Contributors() != st.Received() {
+			t.Errorf("task %d contributors %d != received %d", st.ID, st.Contributors(), st.Received())
+		}
+		if len(p.Values(st.ID)) != st.Received() {
+			t.Errorf("task %d stored %d values for %d measurements", st.ID, len(p.Values(st.ID)), st.Received())
+		}
+	}
+}

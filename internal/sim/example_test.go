@@ -1,0 +1,57 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"paydemand/internal/selection"
+	"paydemand/internal/sim"
+	"paydemand/internal/workload"
+)
+
+// Example runs a small deterministic campaign and reads the result.
+func Example() {
+	cfg := sim.Config{
+		Workload: workload.Config{NumTasks: 6, NumUsers: 40, Required: 4},
+	}
+	res, err := sim.Run(cfg, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("mechanism:", res.Mechanism)
+	fmt.Printf("coverage: %.0f%%\n", res.Coverage*100)
+	fmt.Println("measurements:", res.TotalMeasurements)
+	// Output:
+	// mechanism: on-demand
+	// coverage: 100%
+	// measurements: 24
+}
+
+// Example_observer attaches an observer that counts how many plans were
+// non-empty.
+func Example_observer() {
+	cfg := sim.Config{
+		Workload: workload.Config{NumTasks: 6, NumUsers: 40, Required: 4},
+	}
+	s, err := sim.New(cfg, 42)
+	if err != nil {
+		panic(err)
+	}
+	counter := &activePlanCounter{}
+	if _, err := s.Run(counter); err != nil {
+		panic(err)
+	}
+	fmt.Println("someone worked:", counter.active > 0)
+	// Output:
+	// someone worked: true
+}
+
+type activePlanCounter struct {
+	sim.BaseObserver
+	active int
+}
+
+func (c *activePlanCounter) UserPlanned(_ int, _ int, _ selection.Problem, plan selection.Plan) {
+	if !plan.Empty() {
+		c.active++
+	}
+}

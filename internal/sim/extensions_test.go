@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSensingTimeReducesThroughput(t *testing.T) {
+	base := smallConfig()
+	baseRes, err := Run(base, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := smallConfig()
+	slow.SensingTime = 200 // 200 s per measurement eats most of the 600 s budget
+	slowRes, err := Run(slow, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRes.TotalMeasurements >= baseRes.TotalMeasurements {
+		t.Errorf("sensing time did not reduce throughput: %d >= %d",
+			slowRes.TotalMeasurements, baseRes.TotalMeasurements)
+	}
+}
+
+func TestTimeBudgetJitter(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TimeBudgetJitter = 0.5
+	s, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 600.0, 600.0
+	for _, u := range s.Users() {
+		if u.TimeBudget < lo {
+			lo = u.TimeBudget
+		}
+		if u.TimeBudget > hi {
+			hi = u.TimeBudget
+		}
+		if u.TimeBudget < 300-1e-9 || u.TimeBudget > 900+1e-9 {
+			t.Errorf("user %d budget %v outside [300, 900]", u.ID, u.TimeBudget)
+		}
+	}
+	if hi-lo < 1 {
+		t.Error("jitter produced near-identical budgets")
+	}
+	if _, err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnReplacesUsers(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ChurnRate = 0.3
+	s, err := New(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 30 users, 30% churn and >= 5 rounds, replacements are certain.
+	maxID := 0
+	for _, u := range s.Users() {
+		if u.ID > maxID {
+			maxID = u.ID
+		}
+	}
+	if maxID <= 30 {
+		t.Errorf("max user ID %d, expected churned-in users beyond 30", maxID)
+	}
+	// Population size stays constant; profit ledger covers departures too.
+	if len(s.Users()) != 30 {
+		t.Errorf("population size %d, want 30", len(s.Users()))
+	}
+	if len(res.UserProfits) <= 30 {
+		t.Errorf("UserProfits has %d entries, want > 30 (departed users included)", len(res.UserProfits))
+	}
+	for i, p := range res.UserProfits {
+		if p < 0 {
+			t.Errorf("participant %d has negative profit %v", i, p)
+		}
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ChurnRate = 0.2
+	a, err := Run(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalMeasurements != b.TotalMeasurements || a.AvgUserProfit != b.AvgUserProfit {
+		t.Error("churned simulation not deterministic under seed")
+	}
+}
+
+func TestExtensionValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative sensing time", func(c *Config) { c.SensingTime = -1 }},
+		{"jitter above 1", func(c *Config) { c.TimeBudgetJitter = 1.5 }},
+		{"negative jitter", func(c *Config) { c.TimeBudgetJitter = -0.1 }},
+		{"churn = 1", func(c *Config) { c.ChurnRate = 1 }},
+		{"negative churn", func(c *Config) { c.ChurnRate = -0.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestMobilityModelsRun(t *testing.T) {
+	for _, mob := range []MobilityKind{MobilityStationary, MobilityRandomWaypoint, MobilityLevyWalk} {
+		cfg := smallConfig()
+		cfg.Mobility = mob
+		res, err := Run(cfg, 6)
+		if err != nil {
+			t.Fatalf("%v: %v", mob, err)
+		}
+		if res.TotalMeasurements == 0 {
+			t.Errorf("%v: no measurements", mob)
+		}
+	}
+}
+
+func TestMobilityMovesIdleUsers(t *testing.T) {
+	// With no open tasks (rounds beyond every deadline) a mobile
+	// population still drifts, while a stationary one does not.
+	run := func(mob MobilityKind) []float64 {
+		cfg := smallConfig()
+		cfg.Mobility = mob
+		cfg.Rounds = 20 // beyond the max deadline of 15
+		s, err := New(cfg, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 0, len(s.Users()))
+		for _, u := range s.Users() {
+			out = append(out, u.Location.X, u.Location.Y)
+		}
+		return out
+	}
+	stationary1 := run(MobilityStationary)
+	stationary2 := run(MobilityStationary)
+	waypoint := run(MobilityRandomWaypoint)
+	same := true
+	for i := range stationary1 {
+		if stationary1[i] != waypoint[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("random-waypoint population ended exactly where stationary did")
+	}
+	for i := range stationary1 {
+		if stationary1[i] != stationary2[i] {
+			t.Fatal("stationary run not deterministic")
+		}
+	}
+}
+
+func TestMobilityDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mobility = MobilityLevyWalk
+	a, err := Run(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalMeasurements != b.TotalMeasurements || a.AvgUserProfit != b.AvgUserProfit {
+		t.Error("mobile simulation not deterministic under seed")
+	}
+}
+
+func TestMobilityKindString(t *testing.T) {
+	if MobilityStationary.String() != "stationary" ||
+		MobilityRandomWaypoint.String() != "random-waypoint" ||
+		MobilityLevyWalk.String() != "levy-walk" {
+		t.Error("mobility strings wrong")
+	}
+	if MobilityKind(42).String() != "MobilityKind(42)" {
+		t.Error("unknown mobility string wrong")
+	}
+}
+
+func TestMobilityValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mobility = MobilityKind(42)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown mobility accepted")
+	}
+}
+
+func TestChurnKeepsOncePerTaskRule(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ChurnRate = 0.4
+	s, err := New(cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range s.Board().States() {
+		if st.Received() > st.Required {
+			t.Errorf("task %d over-filled: %d > %d", st.ID, st.Received(), st.Required)
+		}
+		if st.Contributors() != st.Received() {
+			t.Errorf("task %d contributors %d != received %d", st.ID, st.Contributors(), st.Received())
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+
+	"paydemand/internal/agent"
+	"paydemand/internal/geo"
+	"paydemand/internal/incentive"
+	"paydemand/internal/metrics"
+	"paydemand/internal/mobility"
+	"paydemand/internal/selection"
+	"paydemand/internal/stats"
+	"paydemand/internal/task"
+	"paydemand/internal/workload"
+)
+
+// Observer receives the simulation's per-round events. All methods are
+// optional no-ops in the embedded BaseObserver; the experiment harness uses
+// observers to capture data the final metrics do not retain (for example
+// per-user plans at a specific round for Fig. 5).
+type Observer interface {
+	// RoundStart fires after reward update and task publication.
+	RoundStart(round int, rewards map[task.ID]float64)
+	// UserPlanned fires after each user's task selection, whether or not
+	// the plan is empty.
+	UserPlanned(round int, userID int, problem selection.Problem, plan selection.Plan)
+	// RoundEnd fires after all users have acted, with the round's stats.
+	RoundEnd(round int, stats metrics.RoundStats)
+}
+
+// BaseObserver is a no-op Observer for embedding.
+type BaseObserver struct{}
+
+var _ Observer = BaseObserver{}
+
+// RoundStart implements Observer.
+func (BaseObserver) RoundStart(int, map[task.ID]float64) {}
+
+// UserPlanned implements Observer.
+func (BaseObserver) UserPlanned(int, int, selection.Problem, selection.Plan) {}
+
+// RoundEnd implements Observer.
+func (BaseObserver) RoundEnd(int, metrics.RoundStats) {}
+
+// Simulation is one configured run over one generated scenario. Create
+// with New (fresh scenario) or NewFromScenario (pre-built scenario), then
+// call Run exactly once.
+type Simulation struct {
+	cfg      Config
+	scenario workload.Scenario
+	board    *task.Board
+	users    []*agent.User
+	mech     incentive.Mechanism
+	alg      selection.Algorithm
+	orderRNG *stats.RNG
+	resetRNG *stats.RNG
+	churnRNG *stats.RNG
+	mobRNG   *stats.RNG
+	mob      mobility.Model
+	nextUser int
+	// departedProfits holds the profits of users that churned out, so the
+	// final profit accounting covers everyone who participated.
+	departedProfits []float64
+	ran             bool
+}
+
+// New generates a scenario from cfg.Workload with the given seed and
+// prepares the simulation. The same (cfg, seed) pair always produces the
+// same result.
+func New(cfg Config, seed int64) (*Simulation, error) {
+	root := stats.NewRNG(seed)
+	scenarioRNG := root.Split()
+	sc, err := workload.Generate(scenarioRNG, cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromScenario(cfg, sc, root.Int63())
+}
+
+// NewFromScenario prepares a simulation over a caller-supplied scenario.
+// seed drives the remaining randomness (fixed-mechanism level draws, user
+// ordering, optional location resets).
+func NewFromScenario(cfg Config, sc workload.Scenario, seed int64) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	root := stats.NewRNG(seed)
+	mechRNG := root.Split()
+	orderRNG := root.Split()
+	resetRNG := root.Split()
+	churnRNG := root.Split()
+	jitterRNG := root.Split()
+	mobRNG := root.Split()
+
+	board, err := task.NewBoard(sc.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	mech, err := cfg.buildMechanism(board.TotalRequired(), mechRNG)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := cfg.buildAlgorithm()
+	if err != nil {
+		return nil, err
+	}
+	mob, err := cfg.buildMobility(sc.Area)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:      cfg,
+		scenario: sc,
+		board:    board,
+		mech:     mech,
+		alg:      alg,
+		orderRNG: orderRNG,
+		resetRNG: resetRNG,
+		churnRNG: churnRNG,
+		mobRNG:   mobRNG,
+		mob:      mob,
+	}
+	s.users = make([]*agent.User, len(sc.UserLocations))
+	for i, loc := range sc.UserLocations {
+		u := s.newUser(loc, jitterRNG)
+		if err := u.Validate(); err != nil {
+			return nil, err
+		}
+		s.users[i] = u
+	}
+	return s, nil
+}
+
+// newUser creates a user with the configured parameters, drawing the
+// jittered time budget from rng.
+func (s *Simulation) newUser(loc geo.Point, rng *stats.RNG) *agent.User {
+	s.nextUser++
+	u := agent.New(s.nextUser, loc)
+	u.Speed = s.cfg.UserSpeed
+	u.TimeBudget = s.cfg.UserTimeBudget
+	if j := s.cfg.TimeBudgetJitter; j > 0 {
+		u.TimeBudget = s.cfg.UserTimeBudget * rng.Uniform(1-j, 1+j)
+	}
+	u.CostPerMeter = s.cfg.CostPerMeter
+	return u
+}
+
+// Board exposes the task board (read-only use expected).
+func (s *Simulation) Board() *task.Board { return s.board }
+
+// Users exposes the user population (read-only use expected).
+func (s *Simulation) Users() []*agent.User { return s.users }
+
+// Mechanism exposes the incentive mechanism under test.
+func (s *Simulation) Mechanism() incentive.Mechanism { return s.mech }
+
+// Scenario exposes the generated scenario.
+func (s *Simulation) Scenario() workload.Scenario { return s.scenario }
+
+// rounds resolves the configured horizon.
+func (s *Simulation) rounds() int {
+	if s.cfg.Rounds > 0 {
+		return s.cfg.Rounds
+	}
+	return s.board.MaxDeadline()
+}
+
+// Run executes the simulation. obs may be nil. Run may be called once per
+// Simulation; it returns an error on reuse.
+func (s *Simulation) Run(obs Observer) (metrics.TrialResult, error) {
+	if s.ran {
+		return metrics.TrialResult{}, fmt.Errorf("sim: Run called twice")
+	}
+	s.ran = true
+	if obs == nil {
+		obs = BaseObserver{}
+	}
+
+	result := metrics.TrialResult{
+		Mechanism: s.mech.Name(),
+		Algorithm: s.alg.Name(),
+		Users:     len(s.users),
+		Tasks:     s.board.Len(),
+	}
+	horizon := s.rounds()
+	for k := 1; k <= horizon; k++ {
+		rs, err := s.runRound(k, obs)
+		if err != nil {
+			return metrics.TrialResult{}, fmt.Errorf("sim: round %d: %w", k, err)
+		}
+		result.Rounds = append(result.Rounds, rs)
+		result.RoundsRun = k
+	}
+
+	result.Coverage = s.board.Coverage()
+	result.OverallCompleteness = s.board.OverallCompleteness()
+	result.StrictCompleteness = s.board.StrictCompleteness()
+	counts := s.board.MeasurementCounts()
+	result.AvgMeasurements = stats.Mean(counts)
+	result.VarianceMeasurements = stats.Variance(counts)
+	result.TotalMeasurements = s.board.TotalReceived()
+	result.TotalRewardPaid = s.board.TotalRewardPaid()
+	result.AvgRewardPerMeasurement = s.board.AverageRewardPerMeasurement()
+	result.UserProfits = append([]float64(nil), s.departedProfits...)
+	for _, u := range s.users {
+		result.UserProfits = append(result.UserProfits, u.Profit())
+	}
+	result.AvgUserProfit = stats.Mean(result.UserProfits)
+	result.TaskGini = stats.Gini(counts)
+	result.ProfitGini = stats.Gini(result.UserProfits)
+	return result, nil
+}
+
+// runRound executes one sensing round: reward update, publication,
+// distributed selection, upload, and bookkeeping.
+func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
+	rs := metrics.RoundStats{Round: k}
+
+	open := s.board.OpenAt(k)
+	rs.OpenTasks = len(open)
+	var rewards map[task.ID]float64
+	if len(open) > 0 {
+		views, err := s.taskViews(open)
+		if err != nil {
+			return rs, err
+		}
+		rewards, err = s.mech.Rewards(k, views)
+		if err != nil {
+			return rs, err
+		}
+		total := 0.0
+		for _, r := range rewards {
+			total += r
+		}
+		rs.MeanPublishedReward = total / float64(len(rewards))
+	}
+	obs.RoundStart(k, rewards)
+
+	// idle tracks each user's leftover time this round, which feeds the
+	// between-round mobility model.
+	idle := make([]float64, len(s.users))
+	for i, u := range s.users {
+		idle[i] = u.TimeBudget
+	}
+	if len(open) > 0 {
+		// Users act in a random order each round; each sees the round's
+		// published rewards but only tasks still accepting measurements at
+		// its turn (the WST mode's redundant-completion drawback is thereby
+		// bounded by phi per task).
+		for _, ui := range s.orderRNG.Perm(len(s.users)) {
+			u := s.users[ui]
+			problem := s.problemFor(u, k, open, rewards)
+			plan, err := s.alg.Select(problem)
+			if err != nil {
+				return rs, fmt.Errorf("user %d: %w", u.ID, err)
+			}
+			obs.UserPlanned(k, u.ID, problem, plan)
+			if plan.Empty() {
+				continue
+			}
+			for _, id := range plan.Order {
+				if err := s.board.Get(id).Record(u.ID, k, rewards[id]); err != nil {
+					return rs, fmt.Errorf("user %d task %d: %w", u.ID, id, err)
+				}
+				u.MarkDone(id)
+			}
+			u.AddProfit(plan.Profit)
+			rs.RoundProfit += plan.Profit
+			rs.ActiveUsers++
+			if end, ok := plan.Path.End(); ok {
+				u.MoveTo(end)
+			}
+			spent := u.TravelTime(plan.Distance) + s.cfg.SensingTime*float64(plan.Len())
+			idle[ui] -= spent
+			if idle[ui] < 0 {
+				idle[ui] = 0
+			}
+		}
+	}
+
+	for i, u := range s.users {
+		next := s.mob.Step(s.mobRNG, u.ID, u.Location, idle[i], u.Speed)
+		u.MoveTo(next)
+	}
+
+	if s.cfg.ResetLocations {
+		area := s.scenario.Area
+		for _, u := range s.users {
+			u.MoveTo(geo.Pt(
+				s.resetRNG.Uniform(area.Min.X, area.Max.X),
+				s.resetRNG.Uniform(area.Min.Y, area.Max.Y),
+			))
+		}
+	}
+	if s.cfg.ChurnRate > 0 {
+		area := s.scenario.Area
+		for i, u := range s.users {
+			if s.churnRNG.Float64() >= s.cfg.ChurnRate {
+				continue
+			}
+			s.departedProfits = append(s.departedProfits, u.Profit())
+			s.users[i] = s.newUser(geo.Pt(
+				s.churnRNG.Uniform(area.Min.X, area.Max.X),
+				s.churnRNG.Uniform(area.Min.Y, area.Max.Y),
+			), s.churnRNG)
+		}
+	}
+
+	rs.NewMeasurements = s.board.TotalReceivedAt(k)
+	rs.TotalMeasurements = s.board.TotalReceived()
+	rs.Coverage = s.board.CoverageBy(k)
+	rs.Completeness = s.board.OverallCompletenessBy(k)
+	rs.RewardPaid = s.board.TotalRewardPaid()
+	obs.RoundEnd(k, rs)
+	return rs, nil
+}
+
+// taskViews builds the mechanism's per-task observations, counting each
+// task's neighboring users with a grid index over current user locations.
+func (s *Simulation) taskViews(open []*task.State) ([]incentive.TaskView, error) {
+	grid, err := geo.NewGridIndex(s.scenario.Area, s.cfg.NeighborRadius, agent.Locations(s.users))
+	if err != nil {
+		return nil, err
+	}
+	views := make([]incentive.TaskView, len(open))
+	for i, st := range open {
+		views[i] = incentive.TaskView{
+			ID:        st.ID,
+			Location:  st.Location,
+			Deadline:  st.Deadline,
+			Required:  st.Required,
+			Received:  st.Received(),
+			Neighbors: grid.CountWithin(st.Location, s.cfg.NeighborRadius),
+		}
+	}
+	return views, nil
+}
+
+// problemFor assembles one user's selection problem for round k: every
+// published task the user has not already contributed to, priced at this
+// round's rewards, and still accepting measurements. Candidates follow the
+// board's task order so the simulation is deterministic under a seed.
+func (s *Simulation) problemFor(u *agent.User, k int, open []*task.State, rewards map[task.ID]float64) selection.Problem {
+	p := selection.Problem{
+		Start:           u.Location,
+		MaxDistance:     u.MaxTravelDistance(),
+		CostPerMeter:    u.CostPerMeter,
+		PerTaskDistance: s.cfg.SensingTime * u.Speed,
+	}
+	for _, st := range open {
+		if !st.OpenAt(k) || st.Contributed(u.ID) || u.HasDone(st.ID) {
+			continue
+		}
+		p.Candidates = append(p.Candidates, selection.Candidate{
+			ID:       st.ID,
+			Location: st.Location,
+			Reward:   rewards[st.ID],
+		})
+	}
+	return p
+}
+
+// Run is a convenience that builds and runs a simulation in one call.
+func Run(cfg Config, seed int64) (metrics.TrialResult, error) {
+	s, err := New(cfg, seed)
+	if err != nil {
+		return metrics.TrialResult{}, err
+	}
+	return s.Run(nil)
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"paydemand/internal/metrics"
+)
+
+func TestTraceObserverEmitsValidJSONL(t *testing.T) {
+	s, err := New(smallConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	obs := NewTraceObserver(&sb)
+	res, err := s.Run(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Err() != nil {
+		t.Fatal(obs.Err())
+	}
+
+	counts := map[string]int{}
+	scanner := bufio.NewScanner(strings.NewReader(sb.String()))
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var lastRoundEnd TraceEvent
+	for scanner.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", scanner.Text(), err)
+		}
+		counts[ev.Kind]++
+		if ev.Kind == "round_end" {
+			lastRoundEnd = ev
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if counts["round_start"] != res.RoundsRun || counts["round_end"] != res.RoundsRun {
+		t.Errorf("round events: %v for %d rounds", counts, res.RoundsRun)
+	}
+	if counts["user_planned"] == 0 {
+		t.Error("no user_planned events")
+	}
+	if lastRoundEnd.Stats == nil || lastRoundEnd.Stats.TotalMeasurements != res.TotalMeasurements {
+		t.Errorf("final round_end stats = %+v", lastRoundEnd.Stats)
+	}
+}
+
+func TestTraceObserverSkipEmptyPlans(t *testing.T) {
+	s, err := New(smallConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	obs := NewTraceObserver(&sb)
+	obs.SkipEmptyPlans = true
+	if _, err := s.Run(obs); err != nil {
+		t.Fatal(err)
+	}
+	scanner := bufio.NewScanner(strings.NewReader(sb.String()))
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == "user_planned" && (ev.Plan == nil || ev.Plan.Empty()) {
+			t.Fatal("empty plan event not skipped")
+		}
+	}
+}
+
+func TestLogObserver(t *testing.T) {
+	s, err := New(smallConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	logger := slog.New(slog.NewTextHandler(&sb, nil))
+	res, err := s.Run(NewLogObserver(logger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "round complete"); got != res.RoundsRun {
+		t.Errorf("%d log lines for %d rounds", got, res.RoundsRun)
+	}
+	if !strings.Contains(out, "coverage=") {
+		t.Errorf("log missing coverage: %s", out)
+	}
+}
+
+func TestLogObserverNilLogger(t *testing.T) {
+	// Must not panic; uses the default logger.
+	o := NewLogObserver(nil)
+	o.RoundEnd(1, metrics.RoundStats{Round: 1})
+}
+
+func TestMultiObserver(t *testing.T) {
+	s, err := New(smallConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &recordingObserver{}
+	b := &recordingObserver{}
+	res, err := s.Run(MultiObserver{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.roundEnds) != res.RoundsRun || len(b.roundEnds) != res.RoundsRun {
+		t.Errorf("fan-out wrong: %d / %d for %d rounds", len(a.roundEnds), len(b.roundEnds), res.RoundsRun)
+	}
+	if len(a.roundStarts) == 0 || a.plans == 0 || b.plans != a.plans {
+		t.Error("fan-out missed events")
+	}
+}
+
+// failingWriter injects a sink failure.
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestTraceObserverSinkFailureDoesNotAbortRun(t *testing.T) {
+	s, err := New(smallConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewTraceObserver(failingWriter{})
+	if _, err := s.Run(obs); err != nil {
+		t.Fatalf("simulation failed because of trace sink: %v", err)
+	}
+	if obs.Err() == nil {
+		t.Error("sink failure not recorded")
+	}
+}

@@ -1,0 +1,59 @@
+// Package stats provides seeded randomness helpers and the summary
+// statistics (mean, variance, quantiles, five-number boxplot summaries)
+// reported by the paper's experiments.
+package stats
+
+import (
+	"math/rand"
+)
+
+// RNG wraps math/rand.Rand with the draw helpers the simulator needs. All
+// simulator randomness flows through an explicit RNG so that experiments
+// are reproducible from a single seed; there are no global random sources.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child generator from the parent's stream.
+// Distinct calls yield distinct streams; use it to give each trial of an
+// experiment its own generator so trials are independent yet reproducible.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + g.r.Float64()*(hi-lo)
+}
+
+// IntBetween returns a uniform integer in the inclusive range [lo, hi].
+// It panics if lo > hi.
+func (g *RNG) IntBetween(lo, hi int) int {
+	if lo > hi {
+		panic("stats: IntBetween with lo > hi")
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// NormFloat64 returns a standard normal draw.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using the provided swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependentStreams(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := true
+	for i := 0; i < 10; i++ {
+		if c1.Float64() != c2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("sibling splits produced identical streams")
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	a := NewRNG(7).Split()
+	b := NewRNG(7).Split()
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("splits from equal parents diverged")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(5, 15)
+		if v < 5 || v >= 15 {
+			t.Fatalf("Uniform(5,15) = %v out of range", v)
+		}
+	}
+}
+
+func TestIntBetweenInclusive(t *testing.T) {
+	g := NewRNG(1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := g.IntBetween(5, 15)
+		if v < 5 || v > 15 {
+			t.Fatalf("IntBetween(5,15) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if !seen[5] || !seen[15] {
+		t.Error("IntBetween never hit the bounds in 1000 draws")
+	}
+}
+
+func TestIntBetweenDegenerate(t *testing.T) {
+	g := NewRNG(1)
+	if v := g.IntBetween(7, 7); v != 7 {
+		t.Errorf("IntBetween(7,7) = %d", v)
+	}
+}
+
+func TestIntBetweenPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IntBetween(2,1) did not panic")
+		}
+	}()
+	NewRNG(1).IntBetween(2, 1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(3)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	g := NewRNG(3)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 45 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"paydemand/internal/geo"
+)
+
+func roundTrip[T any](t *testing.T, in T) T {
+	t.Helper()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out T
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	in := RegisterRequest{Location: geo.Pt(12.5, 99)}
+	if got := roundTrip(t, in); got != in {
+		t.Errorf("round trip = %+v", got)
+	}
+	resp := RegisterResponse{UserID: 7}
+	if got := roundTrip(t, resp); got != resp {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestRoundInfoRoundTrip(t *testing.T) {
+	in := RoundInfo{
+		Round: 3,
+		Tasks: []TaskInfo{
+			{ID: 1, Location: geo.Pt(1, 2), Deadline: 5, Required: 20, Received: 3, Reward: 1.5},
+			{ID: 2, Location: geo.Pt(3, 4), Deadline: 9, Required: 10, Received: 0, Reward: 2.5},
+		},
+		Done: false,
+	}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestSubmitRoundTrip(t *testing.T) {
+	in := SubmitRequest{
+		UserID: 4,
+		Round:  2,
+		Measurements: []Measurement{
+			{TaskID: 9, Value: 61.25},
+		},
+		Location: geo.Pt(100, 200),
+	}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip = %+v", got)
+	}
+	resp := SubmitResponse{
+		Results:   []SubmitResult{{TaskID: 9, Accepted: true, Reward: 1.5}},
+		TotalPaid: 1.5,
+	}
+	if got := roundTrip(t, resp); !reflect.DeepEqual(got, resp) {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	in := StatusResponse{
+		Round: 5, Done: true, Workers: 40, OpenTasks: 0,
+		TotalMeasurements: 380, Coverage: 1, OverallCompleteness: 0.95,
+		TotalRewardPaid: 480.5, AvgRewardPerMeasurement: 1.26,
+	}
+	if got := roundTrip(t, in); got != in {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestErrorBodyShape(t *testing.T) {
+	data, err := json.Marshal(Error{Message: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"error":"boom"}` {
+		t.Errorf("error body = %s", data)
+	}
+}
+
+// TestRejectedFieldOmitted ensures accepted results stay compact on the
+// wire (Reason has omitempty).
+func TestRejectedFieldOmitted(t *testing.T) {
+	data, err := json.Marshal(SubmitResult{TaskID: 1, Accepted: true, Reward: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"task_id":1,"accepted":true,"reward":2}` {
+		t.Errorf("accepted result = %s", data)
+	}
+}

@@ -1,0 +1,31 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"paydemand/internal/stats"
+	"paydemand/internal/workload"
+)
+
+// Example generates the paper's default scenario and inspects it.
+func Example() {
+	sc, err := workload.Generate(stats.NewRNG(1), workload.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tasks:", len(sc.Tasks))
+	fmt.Println("users:", len(sc.UserLocations))
+	fmt.Println("area side:", sc.Area.Width())
+	inRange := true
+	for _, t := range sc.Tasks {
+		if t.Deadline < 5 || t.Deadline > 15 || t.Required != 20 {
+			inRange = false
+		}
+	}
+	fmt.Println("deadlines in [5, 15], phi = 20:", inRange)
+	// Output:
+	// tasks: 20
+	// users: 100
+	// area side: 3000
+	// deadlines in [5, 15], phi = 20: true
+}

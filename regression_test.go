@@ -1,0 +1,73 @@
+package paydemand_test
+
+import (
+	"math"
+	"testing"
+
+	"paydemand"
+)
+
+// TestCampaignRegression pins the exact metrics of one deterministic
+// paper-default campaign per mechanism. Any change to the round loop, the
+// demand math, the solvers, or the RNG plumbing shows up here as a diff —
+// update the table deliberately when the change is intended.
+func TestCampaignRegression(t *testing.T) {
+	tests := []struct {
+		mechanism    paydemand.MechanismKind
+		measurements int
+		coverage     float64
+		rewardPaid   float64
+	}{
+		{paydemand.MechanismOnDemand, 397, 1.0, 471.0},
+		{paydemand.MechanismFixed, 343, 1.0, 544.0},
+		{paydemand.MechanismSteered, 320, 1.0, 746.6185118863771},
+	}
+	for _, tt := range tests {
+		t.Run(tt.mechanism.String(), func(t *testing.T) {
+			res, err := paydemand.Run(paydemand.Config{Mechanism: tt.mechanism}, 12345)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalMeasurements != tt.measurements {
+				t.Errorf("measurements = %d, want %d", res.TotalMeasurements, tt.measurements)
+			}
+			if res.Coverage != tt.coverage {
+				t.Errorf("coverage = %v, want %v", res.Coverage, tt.coverage)
+			}
+			if math.Abs(res.TotalRewardPaid-tt.rewardPaid) > 1e-6 {
+				t.Errorf("reward paid = %v, want %v", res.TotalRewardPaid, tt.rewardPaid)
+			}
+		})
+	}
+}
+
+// TestSATRegression pins the SAT baseline the same way.
+func TestSATRegression(t *testing.T) {
+	res, err := paydemand.RunSAT(paydemand.SATConfig{}, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mechanism != "sat-auction" {
+		t.Errorf("mechanism = %q", res.Mechanism)
+	}
+	if res.TotalMeasurements == 0 || res.Coverage == 0 {
+		t.Errorf("degenerate SAT run: %+v", res)
+	}
+}
+
+// TestPublicSATAPI exercises the facade wrappers.
+func TestPublicSATAPI(t *testing.T) {
+	s, err := paydemand.NewSATSimulation(paydemand.SATConfig{
+		Workload: paydemand.WorkloadConfig{NumTasks: 4, NumUsers: 10, Required: 2},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 4 {
+		t.Errorf("tasks = %d", res.Tasks)
+	}
+}

@@ -1,0 +1,40 @@
+package paydemand
+
+import (
+	"io"
+
+	"paydemand/internal/sat"
+	"paydemand/internal/server"
+)
+
+// SAT-mode baseline: the Server-Assigned-Tasks reverse auction the paper
+// positions the WST mode against.
+type (
+	// SATConfig parameterizes a SAT-mode campaign.
+	SATConfig = sat.Config
+	// SATSimulation runs a SAT-mode campaign.
+	SATSimulation = sat.Simulation
+	// SATBid is one user's offer to perform one task.
+	SATBid = sat.Bid
+)
+
+// NewSATSimulation prepares a SAT-mode campaign.
+func NewSATSimulation(cfg SATConfig, seed int64) (*SATSimulation, error) {
+	return sat.New(cfg, seed)
+}
+
+// RunSAT builds and runs a SAT-mode campaign in one call. Its TrialResult
+// is directly comparable with Run's.
+func RunSAT(cfg SATConfig, seed int64) (TrialResult, error) {
+	return sat.Run(cfg, seed)
+}
+
+// Campaign persistence: snapshot a running platform and resume it after a
+// restart.
+type PlatformSnapshot = server.Snapshot
+
+// ReadPlatformSnapshot parses a snapshot written by
+// (*Platform).WriteSnapshot.
+func ReadPlatformSnapshot(r io.Reader) (PlatformSnapshot, error) {
+	return server.ReadSnapshot(r)
+}
