@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"paydemand/internal/metrics"
 	"paydemand/internal/sat"
@@ -50,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		jitter    = fs.Float64("budget-jitter", 0, "per-user time budget jitter fraction in [0, 1]")
 		mobility  = fs.String("mobility", "stationary", "between-round movement: stationary | random-waypoint | levy-walk")
 		compare   = fs.Bool("compare", false, "run on-demand, fixed, steered and the SAT auction side by side")
+		parallel  = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU, 1 = sequential); results are identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,24 +91,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *compare {
-		return runComparison(out, cfg, *trials, *seed)
+		return runComparison(out, cfg, *trials, *seed, *parallel)
 	}
 
-	var agg metrics.Aggregator
-	for i := 0; i < *trials; i++ {
+	results, err := forEachTrial(*trials, *parallel, func(i int) (metrics.TrialResult, error) {
 		var obs sim.Observer
 		var traceFile *os.File
 		if *tracePath != "" && i == 0 {
 			var err error
 			traceFile, err = os.Create(*tracePath)
 			if err != nil {
-				return err
+				return metrics.TrialResult{}, err
 			}
 			obs = sim.NewTraceObserver(traceFile)
 		}
 		s, err := sim.New(cfg, *seed+int64(i))
 		if err != nil {
-			return err
+			return metrics.TrialResult{}, err
 		}
 		res, err := s.Run(obs)
 		if traceFile != nil {
@@ -113,8 +116,15 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		if err != nil {
-			return err
+			return metrics.TrialResult{}, err
 		}
+		return res, nil
+	})
+	if err != nil {
+		return err
+	}
+	var agg metrics.Aggregator
+	for _, res := range results {
 		agg.Add(res)
 	}
 	summary := agg.Summary()
@@ -152,27 +162,96 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// forEachTrial runs fn(i) for i in [0, trials) across the given number
+// of worker goroutines (0 = one per CPU, 1 = in the calling goroutine),
+// collecting results into index-ordered slots so aggregation order — and
+// therefore output — is independent of the worker count. The first error
+// cancels trials not yet started.
+func forEachTrial(trials, workers int, fn func(i int) (metrics.TrialResult, error)) ([]metrics.TrialResult, error) {
+	if trials < 0 {
+		return nil, fmt.Errorf("trials %d, want >= 0", trials)
+	}
+	if workers < 0 {
+		return nil, fmt.Errorf("parallel %d, want >= 0", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	out := make([]metrics.TrialResult, trials)
+	if workers <= 1 {
+		for i := 0; i < trials; i++ {
+			res, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = trials
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= trials || stop.Load() {
+					return
+				}
+				res, err := fn(i)
+				if err != nil {
+					stop.Store(true)
+					mu.Lock()
+					if i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
 // runComparison averages the three incentive mechanisms plus the SAT
 // auction over the same trial seeds and prints them side by side.
-func runComparison(out io.Writer, cfg sim.Config, trials int, seed int64) error {
+func runComparison(out io.Writer, cfg sim.Config, trials int, seed int64, parallel int) error {
 	mechs := []sim.MechanismKind{sim.MechanismOnDemand, sim.MechanismFixed, sim.MechanismSteered}
 	summaries := make([]metrics.Summary, 0, len(mechs)+1)
 	names := make([]string, 0, len(mechs)+1)
 	for _, mech := range mechs {
-		var agg metrics.Aggregator
 		mcfg := cfg
 		mcfg.Mechanism = mech
-		for i := 0; i < trials; i++ {
-			res, err := sim.Run(mcfg, seed+int64(i))
-			if err != nil {
-				return err
-			}
+		results, err := forEachTrial(trials, parallel, func(i int) (metrics.TrialResult, error) {
+			return sim.Run(mcfg, seed+int64(i))
+		})
+		if err != nil {
+			return err
+		}
+		var agg metrics.Aggregator
+		for _, res := range results {
 			agg.Add(res)
 		}
 		summaries = append(summaries, agg.Summary())
 		names = append(names, mech.String())
 	}
-	var satAgg metrics.Aggregator
 	satCfg := sat.Config{
 		Workload:       cfg.Workload,
 		Rounds:         cfg.Rounds,
@@ -181,11 +260,14 @@ func runComparison(out io.Writer, cfg sim.Config, trials int, seed int64) error 
 		CostPerMeter:   cfg.CostPerMeter,
 		Budget:         cfg.Budget,
 	}
-	for i := 0; i < trials; i++ {
-		res, err := sat.Run(satCfg, seed+int64(i))
-		if err != nil {
-			return err
-		}
+	satResults, err := forEachTrial(trials, parallel, func(i int) (metrics.TrialResult, error) {
+		return sat.Run(satCfg, seed+int64(i))
+	})
+	if err != nil {
+		return err
+	}
+	var satAgg metrics.Aggregator
+	for _, res := range satResults {
 		satAgg.Add(res)
 	}
 	summaries = append(summaries, satAgg.Summary())

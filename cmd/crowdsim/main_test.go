@@ -119,3 +119,19 @@ func TestParseAlgorithmRoundTrips(t *testing.T) {
 		}
 	}
 }
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	args := []string{"-users", "20", "-tasks", "5", "-required", "3", "-trials", "4", "-rounds", "3"}
+	var seq strings.Builder
+	if err := run(append(args, "-parallel", "1"), &seq); err != nil {
+		t.Fatal(err)
+	}
+	var par strings.Builder
+	if err := run(append(args, "-parallel", "4"), &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("-parallel 4 output differs from -parallel 1:\npar:\n%s\nseq:\n%s",
+			par.String(), seq.String())
+	}
+}

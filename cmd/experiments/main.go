@@ -30,14 +30,16 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "", "figure to run (5a, 5b, 6a, 6b, 7a, 7b, 8a, 8b, 9a, 9b); empty with -all runs everything")
-		all    = fs.Bool("all", false, "run every figure")
-		trials = fs.Int("trials", 20, "trials per configuration (paper: 100)")
-		seed   = fs.Int64("seed", 1, "base random seed")
-		users  = fs.Int("series-users", 0, "population for vs-round figures (0 = paper's 100)")
-		plot   = fs.Bool("plot", true, "render ASCII plots")
-		csvDir = fs.String("csv", "", "directory to also write <figure>.csv files into")
-		list   = fs.Bool("list", false, "list the available figure IDs and exit")
+		fig      = fs.String("fig", "", "figure to run (5a, 5b, 6a, 6b, 7a, 7b, 8a, 8b, 9a, 9b); empty with -all runs everything")
+		all      = fs.Bool("all", false, "run every figure")
+		trials   = fs.Int("trials", 20, "trials per configuration (paper: 100)")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		users    = fs.Int("series-users", 0, "population for vs-round figures (0 = paper's 100)")
+		plot     = fs.Bool("plot", true, "render ASCII plots")
+		csvDir   = fs.String("csv", "", "directory to also write <figure>.csv files into")
+		list     = fs.Bool("list", false, "list the available figure IDs and exit")
+		parallel = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU, 1 = sequential); output is identical at any setting")
+		progress = fs.Bool("progress", false, "report completed/total trials on stderr while a figure runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,8 +72,17 @@ func run(args []string, out io.Writer) error {
 		Trials:      *trials,
 		Seed:        *seed,
 		SeriesUsers: *users,
+		Parallelism: *parallel,
 	}
 	for _, id := range ids {
+		if *progress {
+			opts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials", id, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		f, err := experiments.Run(id, opts)
 		if err != nil {
 			return err

@@ -90,3 +90,26 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	args := []string{"-fig", "6a", "-trials", "2", "-plot=false"}
+	var seq strings.Builder
+	if err := run(append(args, "-parallel", "1"), &seq); err != nil {
+		t.Fatal(err)
+	}
+	var par strings.Builder
+	if err := run(append(args, "-parallel", "4"), &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("-parallel 4 output differs from -parallel 1:\npar:\n%s\nseq:\n%s",
+			par.String(), seq.String())
+	}
+}
+
+func TestRunRejectsNegativeTrials(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "6a", "-trials", "-3", "-plot=false"}, &sb); err == nil {
+		t.Error("negative -trials accepted")
+	}
+}

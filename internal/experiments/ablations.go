@@ -12,21 +12,31 @@ import (
 // with a different set of mechanism or configuration variants.
 
 // ablationSweep runs one metric over the user sweep for a list of named
-// configurations.
+// configurations, fanning the (variant, user-count, trial) grid across
+// the trial-runner worker pool.
 func ablationSweep(opts Options, variants []namedConfig, pick func(metrics.Summary) float64) ([]Series, error) {
 	opts = opts.withDefaults()
+	nu := len(opts.UserSweep)
+	results, err := runTrials(opts, len(variants)*nu, func(c, trial int) (metrics.TrialResult, error) {
+		vi, ui := c/nu, c%nu
+		v, users := variants[vi], opts.UserSweep[ui]
+		cfg := v.cfg
+		cfg.Workload.NumUsers = users
+		res, err := sim.Run(cfg, trialSeed(opts.Seed, 5000+vi*100+ui, trial))
+		if err != nil {
+			return metrics.TrialResult{}, fmt.Errorf("%s users=%d trial=%d: %w", v.name, users, trial, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	series := make([]Series, len(variants))
 	for vi, v := range variants {
 		s := Series{Name: v.name}
 		for ui, users := range opts.UserSweep {
 			var agg metrics.Aggregator
-			for trial := 0; trial < opts.Trials; trial++ {
-				cfg := v.cfg
-				cfg.Workload.NumUsers = users
-				res, err := sim.Run(cfg, trialSeed(opts.Seed, 5000+vi*100+ui, trial))
-				if err != nil {
-					return nil, fmt.Errorf("%s users=%d trial=%d: %w", v.name, users, trial, err)
-				}
+			for _, res := range results[vi*nu+ui] {
 				agg.Add(res)
 			}
 			s.X = append(s.X, float64(users))

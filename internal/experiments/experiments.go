@@ -37,6 +37,17 @@ type Options struct {
 	// Base allows overriding simulation parameters (area, budget, time
 	// budget, ...). Population fields are overwritten by the sweep.
 	Base sim.Config
+	// Parallelism is the number of worker goroutines trials fan out
+	// across; zero means one per available CPU (GOMAXPROCS), one runs
+	// trials sequentially on the calling goroutine. Output is identical
+	// at every parallelism level: trial seeds derive from the
+	// (configuration, trial) index, and results are aggregated in index
+	// order regardless of completion order.
+	Parallelism int
+	// Progress, when non-nil, is called after every finished trial with
+	// the number of completed trials and the sweep's total. Calls are
+	// serialized but may come from worker goroutines; keep it cheap.
+	Progress func(done, total int)
 }
 
 // withDefaults fills the paper's defaults.
@@ -54,6 +65,30 @@ func (o Options) withDefaults() Options {
 		o.Rounds = workload.DefaultDeadlineMax
 	}
 	return o
+}
+
+// Validate rejects option values that would silently corrupt a sweep:
+// negative counts pass the zero-means-default check in withDefaults, run
+// zero trial iterations, and leave every figure series averaging to NaN.
+func (o Options) Validate() error {
+	if o.Trials < 0 {
+		return fmt.Errorf("experiments: Trials %d, want >= 0 (0 = paper's 100)", o.Trials)
+	}
+	if o.SeriesUsers < 0 {
+		return fmt.Errorf("experiments: SeriesUsers %d, want >= 0 (0 = paper's 100)", o.SeriesUsers)
+	}
+	if o.Rounds < 0 {
+		return fmt.Errorf("experiments: Rounds %d, want >= 0 (0 = paper's 15)", o.Rounds)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("experiments: Parallelism %d, want >= 0 (0 = GOMAXPROCS)", o.Parallelism)
+	}
+	for i, u := range o.UserSweep {
+		if u <= 0 {
+			return fmt.Errorf("experiments: UserSweep[%d] = %d, want > 0", i, u)
+		}
+	}
+	return nil
 }
 
 // Series is one plotted line: a name and aligned X/Y vectors.
@@ -140,6 +175,9 @@ func Run(id string, opts Options) (Figure, error) {
 	r, ok := registry[id]
 	if !ok {
 		return Figure{}, fmt.Errorf("experiments: unknown figure %q (known: %v)", id, IDs())
+	}
+	if err := opts.Validate(); err != nil {
+		return Figure{}, err
 	}
 	return r(opts)
 }

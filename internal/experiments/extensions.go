@@ -44,25 +44,37 @@ func ExtSATvsWST(opts Options) (Figure, error) {
 	cost[0] = Series{Name: "wst-on-demand ($/meas)"}
 	cost[1] = Series{Name: "sat-auction ($/meas)"}
 
+	// One engine job covers the paired WST and SAT runs of a trial, so the
+	// two modes share the fan-out and keep their historical seeds.
+	type pairedResult struct {
+		wst, sat metrics.TrialResult
+	}
+	results, err := runTrials(opts, len(opts.UserSweep), func(ui, trial int) (pairedResult, error) {
+		users := opts.UserSweep[ui]
+		wstCfg := opts.Base
+		wstCfg.Mechanism = sim.MechanismOnDemand
+		wstCfg.Workload.NumUsers = users
+		wstRes, err := sim.Run(wstCfg, trialSeed(opts.Seed, 7000+ui, trial))
+		if err != nil {
+			return pairedResult{}, fmt.Errorf("wst users=%d trial=%d: %w", users, trial, err)
+		}
+		satCfg := sat.Config{Workload: opts.Base.Workload}
+		satCfg.Workload.NumUsers = users
+		satRes, err := sat.Run(satCfg, trialSeed(opts.Seed, 7100+ui, trial))
+		if err != nil {
+			return pairedResult{}, fmt.Errorf("sat users=%d trial=%d: %w", users, trial, err)
+		}
+		return pairedResult{wst: wstRes, sat: satRes}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+
 	for ui, users := range opts.UserSweep {
 		var wstAgg, satAgg metrics.Aggregator
-		for trial := 0; trial < opts.Trials; trial++ {
-			wstCfg := opts.Base
-			wstCfg.Mechanism = sim.MechanismOnDemand
-			wstCfg.Workload.NumUsers = users
-			wstRes, err := sim.Run(wstCfg, trialSeed(opts.Seed, 7000+ui, trial))
-			if err != nil {
-				return Figure{}, fmt.Errorf("wst users=%d trial=%d: %w", users, trial, err)
-			}
-			wstAgg.Add(wstRes)
-
-			satCfg := sat.Config{Workload: opts.Base.Workload}
-			satCfg.Workload.NumUsers = users
-			satRes, err := sat.Run(satCfg, trialSeed(opts.Seed, 7100+ui, trial))
-			if err != nil {
-				return Figure{}, fmt.Errorf("sat users=%d trial=%d: %w", users, trial, err)
-			}
-			satAgg.Add(satRes)
+		for _, pr := range results[ui] {
+			wstAgg.Add(pr.wst)
+			satAgg.Add(pr.sat)
 		}
 		x := float64(users)
 		w, s := wstAgg.Summary(), satAgg.Summary()

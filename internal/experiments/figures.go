@@ -27,20 +27,32 @@ func baseConfig(opts Options, mech sim.MechanismKind, users, rounds int) sim.Con
 }
 
 // sweepUsers runs the three-mechanism comparison over the user sweep and
-// extracts one final metric per summary.
+// extracts one final metric per summary. Configurations are the
+// (mechanism, user-count) grid; trials fan out across the worker pool and
+// are aggregated back in trial order, so the output matches a sequential
+// run exactly.
 func sweepUsers(opts Options, pick func(metrics.Summary) float64) ([]Series, error) {
 	opts = opts.withDefaults()
+	nu := len(opts.UserSweep)
+	results, err := runTrials(opts, len(comparedMechanisms)*nu, func(c, trial int) (metrics.TrialResult, error) {
+		mi, ui := c/nu, c%nu
+		mech, users := comparedMechanisms[mi], opts.UserSweep[ui]
+		cfg := baseConfig(opts, mech, users, 0)
+		res, err := sim.Run(cfg, trialSeed(opts.Seed, mi*100+ui, trial))
+		if err != nil {
+			return metrics.TrialResult{}, fmt.Errorf("%s users=%d trial=%d: %w", mech, users, trial, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	series := make([]Series, len(comparedMechanisms))
 	for mi, mech := range comparedMechanisms {
 		s := Series{Name: mech.String()}
 		for ui, users := range opts.UserSweep {
 			var agg metrics.Aggregator
-			for trial := 0; trial < opts.Trials; trial++ {
-				cfg := baseConfig(opts, mech, users, 0)
-				res, err := sim.Run(cfg, trialSeed(opts.Seed, mi*100+ui, trial))
-				if err != nil {
-					return nil, fmt.Errorf("%s users=%d trial=%d: %w", mech, users, trial, err)
-				}
+			for _, res := range results[mi*nu+ui] {
 				agg.Add(res)
 			}
 			s.X = append(s.X, float64(users))
@@ -55,15 +67,22 @@ func sweepUsers(opts Options, pick func(metrics.Summary) float64) ([]Series, err
 // population and extracts a per-round series.
 func sweepRounds(opts Options, metric metrics.RoundMetric) ([]Series, error) {
 	opts = opts.withDefaults()
+	results, err := runTrials(opts, len(comparedMechanisms), func(mi, trial int) (metrics.TrialResult, error) {
+		mech := comparedMechanisms[mi]
+		cfg := baseConfig(opts, mech, opts.SeriesUsers, opts.Rounds)
+		res, err := sim.Run(cfg, trialSeed(opts.Seed, 1000+mi, trial))
+		if err != nil {
+			return metrics.TrialResult{}, fmt.Errorf("%s trial=%d: %w", mech, trial, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	series := make([]Series, len(comparedMechanisms))
 	for mi, mech := range comparedMechanisms {
 		var agg metrics.Aggregator
-		for trial := 0; trial < opts.Trials; trial++ {
-			cfg := baseConfig(opts, mech, opts.SeriesUsers, opts.Rounds)
-			res, err := sim.Run(cfg, trialSeed(opts.Seed, 1000+mi, trial))
-			if err != nil {
-				return nil, fmt.Errorf("%s trial=%d: %w", mech, trial, err)
-			}
+		for _, res := range results[mi] {
 			agg.Add(res)
 		}
 		rs := agg.Series(metric, opts.Rounds)
@@ -101,27 +120,35 @@ func (o *profitAtRound2) UserPlanned(round, _ int, p selection.Problem, plan sel
 }
 
 // runFig5 runs the DP-driven simulation and collects paired per-user
-// profits at round 2 for every sweep point.
+// profits at round 2 for every sweep point. Each trial returns its
+// observer so the per-user profit streams can be merged in trial order
+// after the parallel fan-out.
 func runFig5(opts Options) (dpMean, grMean []float64, diffs []float64, err error) {
 	opts = opts.withDefaults()
+	results, err := runTrials(opts, len(opts.UserSweep), func(ui, trial int) (*profitAtRound2, error) {
+		cfg := baseConfig(opts, sim.MechanismOnDemand, opts.UserSweep[ui], 2)
+		cfg.Algorithm = sim.AlgorithmDP
+		s, err := sim.New(cfg, trialSeed(opts.Seed, 2000+ui, trial))
+		if err != nil {
+			return nil, err
+		}
+		obs := &profitAtRound2{}
+		if _, err := s.Run(obs); err != nil {
+			return nil, err
+		}
+		if obs.err != nil {
+			return nil, obs.err
+		}
+		return obs, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	dpMean = make([]float64, len(opts.UserSweep))
 	grMean = make([]float64, len(opts.UserSweep))
-	for ui, users := range opts.UserSweep {
+	for ui := range opts.UserSweep {
 		var dpAgg, grAgg stats.Running
-		for trial := 0; trial < opts.Trials; trial++ {
-			cfg := baseConfig(opts, sim.MechanismOnDemand, users, 2)
-			cfg.Algorithm = sim.AlgorithmDP
-			s, err := sim.New(cfg, trialSeed(opts.Seed, 2000+ui, trial))
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			obs := &profitAtRound2{}
-			if _, err := s.Run(obs); err != nil {
-				return nil, nil, nil, err
-			}
-			if obs.err != nil {
-				return nil, nil, nil, obs.err
-			}
+		for _, obs := range results[ui] {
 			for i := range obs.dpProfits {
 				dpAgg.Add(obs.dpProfits[i])
 				grAgg.Add(obs.greedyProfits[i])

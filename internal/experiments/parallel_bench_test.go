@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSweepOpts sizes a sweep that is heavy enough for the worker pool
+// to matter but small enough to iterate: 2 mechanisms' worth of work via
+// fig6a's 3-mechanism x 2-population grid, 8 trials each.
+func benchSweepOpts(workers int) Options {
+	o := tinyOpts()
+	o.Trials = 8
+	o.UserSweep = []int{40, 80}
+	o.Parallelism = workers
+	return o
+}
+
+// BenchmarkFigureSweep measures a full figure sweep end to end at
+// increasing parallelism; workers=1 is the historical sequential
+// baseline. This is the repo's first perf baseline — recorded in
+// BENCH_parallel_trials.json at the repo root.
+func BenchmarkFigureSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		b.Run(name, func(b *testing.B) {
+			opts := benchSweepOpts(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := Run("fig6a", opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSweep covers the second loop shape (variant grid) so
+// regressions in either aggregation path show up.
+func BenchmarkAblationSweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		name := fmt.Sprintf("workers=%d", workers)
+		b.Run(name, func(b *testing.B) {
+			opts := benchSweepOpts(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := Run("ablation-budget", opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -38,10 +38,16 @@ func (*Greedy) Select(p Problem) (Plan, error) {
 				continue
 			}
 			gain := c.Reward - d*p.CostPerMeter
-			// Strictly positive marginal profit, ties broken toward the
-			// closer task for determinism.
-			if gain > bestGain+1e-12 ||
-				(gain > 0 && math.Abs(gain-bestGain) <= 1e-12 && best >= 0 && d < bestDist) {
+			// Strictly positive marginal profit (Theorem 3): any gain > 0
+			// qualifies, however small. The epsilon only separates "clearly
+			// better" from "tied"; ties break toward the closer task for
+			// determinism.
+			if gain <= 0 {
+				continue
+			}
+			better := best < 0 || gain > bestGain+1e-12
+			tied := best >= 0 && math.Abs(gain-bestGain) <= 1e-12 && d < bestDist
+			if better || tied {
 				best = k
 				bestGain = gain
 				bestDist = d

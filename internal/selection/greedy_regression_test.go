@@ -1,0 +1,110 @@
+package selection
+
+import (
+	"testing"
+
+	"paydemand/internal/geo"
+)
+
+// TestGreedyTinyPositiveGain is the regression for the asymmetric
+// acceptance window: a task whose marginal profit lies in (0, 1e-12] is
+// still strictly profitable and must be selected (Theorem 3's rule is
+// gain > 0, not gain > epsilon).
+func TestGreedyTinyPositiveGain(t *testing.T) {
+	p := Problem{
+		Start:        geo.Pt(0, 0),
+		MaxDistance:  1000,
+		CostPerMeter: 0.001,
+		Candidates: []Candidate{
+			// Reward barely above travel cost: gain = 1e-13.
+			{ID: 1, Location: geo.Pt(100, 0), Reward: 0.1 + 1e-13},
+		},
+	}
+	plan, err := (&Greedy{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 1 || plan.Order[0] != 1 {
+		t.Fatalf("tiny positive gain skipped: plan = %+v", plan)
+	}
+	if plan.Profit <= 0 {
+		t.Errorf("profit = %v, want > 0", plan.Profit)
+	}
+}
+
+// TestGreedyZeroGainRejected checks the other side of the boundary: a
+// task whose reward exactly covers the travel cost yields zero marginal
+// profit and must not be visited.
+func TestGreedyZeroGainRejected(t *testing.T) {
+	p := Problem{
+		Start:        geo.Pt(0, 0),
+		MaxDistance:  1000,
+		CostPerMeter: 0.001,
+		Candidates: []Candidate{
+			{ID: 1, Location: geo.Pt(100, 0), Reward: 0.1}, // gain exactly 0
+		},
+	}
+	plan, err := (&Greedy{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatalf("zero-gain task selected: plan = %+v", plan)
+	}
+}
+
+// TestGreedyFirstPairTieBreak is the regression for the tie-break that
+// could never fire on the first tied pair: two equidistant-in-gain tasks
+// must resolve toward the closer one even when the farther task is
+// scanned first.
+func TestGreedyFirstPairTieBreak(t *testing.T) {
+	const cost = 0.001
+	p := Problem{
+		Start:        geo.Pt(0, 0),
+		MaxDistance:  10000,
+		CostPerMeter: cost,
+		Candidates: []Candidate{
+			// Scanned first, farther away; rewards compensate distance so
+			// both gains are exactly 0.5.
+			{ID: 1, Location: geo.Pt(400, 0), Reward: 0.5 + 400*cost},
+			{ID: 2, Location: geo.Pt(100, 0), Reward: 0.5 + 100*cost},
+		},
+	}
+	plan, err := (&Greedy{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() == 0 {
+		t.Fatal("no task selected")
+	}
+	if plan.Order[0] != 2 {
+		t.Errorf("first pick = task %d, want the closer task 2", plan.Order[0])
+	}
+}
+
+// TestGreedyTinyGainsTieBreak combines both regressions: a pool of tasks
+// whose gains are all within the epsilon window of each other near zero
+// must still produce a plan, picking the closest first.
+func TestGreedyTinyGainsTieBreak(t *testing.T) {
+	const cost = 0.001
+	p := Problem{
+		Start:        geo.Pt(0, 0),
+		MaxDistance:  10000,
+		CostPerMeter: cost,
+		Candidates: []Candidate{
+			{ID: 1, Location: geo.Pt(300, 0), Reward: 300*cost + 5e-13},
+			{ID: 2, Location: geo.Pt(50, 0), Reward: 50*cost + 5e-13},
+			{ID: 3, Location: geo.Pt(150, 0), Reward: 150*cost + 5e-13},
+		},
+	}
+	plan, err := (&Greedy{}).Select(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() == 0 {
+		t.Fatal("near-zero-gain candidates all skipped")
+	}
+	if plan.Order[0] != 2 {
+		t.Errorf("first pick = task %d, want the closest task 2", plan.Order[0])
+	}
+}

@@ -229,11 +229,16 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 		if err != nil {
 			return rs, err
 		}
-		total := 0.0
-		for _, r := range rewards {
-			total += r
+		// A mechanism may legally return no rewards for open tasks (for
+		// example when its budget is exhausted); the mean must then be zero,
+		// not 0/0 = NaN, which would poison every aggregate built on it.
+		if len(rewards) > 0 {
+			total := 0.0
+			for _, r := range rewards {
+				total += r
+			}
+			rs.MeanPublishedReward = total / float64(len(rewards))
 		}
-		rs.MeanPublishedReward = total / float64(len(rewards))
 	}
 	obs.RoundStart(k, rewards)
 
