@@ -112,9 +112,17 @@ func (u *User) MoveTo(p geo.Point) { u.Location = p }
 // Locations extracts the current locations of a user slice, in order. The
 // incentive mechanism indexes these to count neighboring users per task.
 func Locations(users []*User) []geo.Point {
-	out := make([]geo.Point, len(users))
-	for i, u := range users {
-		out[i] = u.Location
+	return LocationsInto(make([]geo.Point, 0, len(users)), users)
+}
+
+// LocationsInto is Locations into a caller-provided buffer: it appends the
+// locations to buf[:0] and returns the (possibly re-grown) slice. The
+// simulation calls it every round, so reusing one buffer keeps the round
+// loop allocation-free.
+func LocationsInto(buf []geo.Point, users []*User) []geo.Point {
+	buf = buf[:0]
+	for _, u := range users {
+		buf = append(buf, u.Location)
 	}
-	return out
+	return buf
 }

@@ -101,6 +101,7 @@ func sweepRounds(opts Options, metric metrics.RoundMetric) ([]Series, error) {
 // identical problem instance.
 type profitAtRound2 struct {
 	sim.BaseObserver
+	greedy        selection.Greedy // persistent so its scratch is reused per user
 	dpProfits     []float64
 	greedyProfits []float64
 	err           error
@@ -110,7 +111,7 @@ func (o *profitAtRound2) UserPlanned(round, _ int, p selection.Problem, plan sel
 	if round != 2 || o.err != nil {
 		return
 	}
-	gr, err := (&selection.Greedy{}).Select(p)
+	gr, err := o.greedy.Select(p)
 	if err != nil {
 		o.err = err
 		return

@@ -53,6 +53,7 @@ type Mechanism interface {
 	// ("on-demand", "fixed", "steered").
 	Name() string
 	// Rewards returns the per-measurement reward of each task for the
-	// given round.
+	// given round. The views slice is caller-owned scratch that may be
+	// reused after the call returns; implementations must not retain it.
 	Rewards(round int, views []TaskView) (map[task.ID]float64, error)
 }

@@ -10,10 +10,18 @@ const DefaultAutoThreshold = 16
 // instance is small enough and falls back to the greedy heuristic beyond
 // the threshold, mirroring the paper's guidance that DP is for small task
 // sets and greedy for crowdsensing at scale.
+//
+// Auto owns one DP and one Greedy instance so their scratch persists
+// across calls; like them it is not safe for concurrent use.
 type Auto struct {
 	// Threshold is the largest filtered instance solved exactly; zero
-	// means DefaultAutoThreshold.
+	// means DefaultAutoThreshold, values above DPHardMaxTasks route the
+	// excess instances to greedy (the DP solver clamps there anyway).
 	Threshold int
+
+	dp     DP
+	greedy Greedy
+	idxs   []int
 }
 
 var _ Algorithm = (*Auto)(nil)
@@ -30,8 +38,10 @@ func (a *Auto) Select(p Problem) (Plan, error) {
 	if err := p.Validate(); err != nil {
 		return Plan{}, err
 	}
-	if len(reachable(p)) <= threshold {
-		return (&DP{MaxTasks: threshold}).Select(p)
+	a.idxs = reachableInto(&p, a.idxs)
+	if len(a.idxs) <= min(threshold, DPHardMaxTasks) {
+		a.dp.MaxTasks = threshold
+		return a.dp.selectValidated(&p)
 	}
-	return (&Greedy{}).Select(p)
+	return buildPlan(&p, a.greedy.selectOrder(&p)), nil
 }

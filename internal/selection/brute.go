@@ -11,8 +11,14 @@ const BruteForceMaxTasks = 9
 // BruteForce exhaustively enumerates every ordered subset of candidates
 // and returns the feasible plan with maximum profit. It exists as the
 // ground-truth oracle for testing the DP solver and is exponential in the
-// worst way; do not use it outside tests and tiny instances.
-type BruteForce struct{}
+// worst way; do not use it outside tests and tiny instances. Like the
+// production solvers it honors the shared round context and reuses
+// scratch, so the cached-path equivalence tests cover it too.
+type BruteForce struct {
+	idxs []int
+	cur  []int
+	used []bool
+}
 
 var _ Algorithm = (*BruteForce)(nil)
 
@@ -20,45 +26,46 @@ var _ Algorithm = (*BruteForce)(nil)
 func (*BruteForce) Name() string { return "brute-force" }
 
 // Select implements Algorithm.
-func (*BruteForce) Select(p Problem) (Plan, error) {
+func (bf *BruteForce) Select(p Problem) (Plan, error) {
 	if err := p.Validate(); err != nil {
 		return Plan{}, err
 	}
-	idxs := reachable(p)
+	bf.idxs = reachableInto(&p, bf.idxs)
+	idxs := bf.idxs
 	if len(idxs) > BruteForceMaxTasks {
 		return Plan{}, fmt.Errorf("%w: %d candidates, cap %d", ErrTooManyTasks, len(idxs), BruteForceMaxTasks)
 	}
 	best := Plan{}
-	cur := make([]int, 0, len(idxs))
-	used := make([]bool, len(idxs))
+	bf.cur = bf.cur[:0]
+	bf.used = growBools(bf.used, len(idxs))
+	for k := range bf.used {
+		bf.used[k] = false
+	}
 
 	// budgetSoFar includes per-task overhead; travelSoFar is movement only
-	// (movement cost applies to travel, not sensing time).
-	var recurse func(budgetSoFar, travelSoFar, rewardSoFar float64)
-	recurse = func(budgetSoFar, travelSoFar, rewardSoFar float64) {
+	// (movement cost applies to travel, not sensing time). last is the
+	// candidate index of the previous visit, -1 for the start.
+	var recurse func(last int, budgetSoFar, travelSoFar, rewardSoFar float64)
+	recurse = func(last int, budgetSoFar, travelSoFar, rewardSoFar float64) {
 		profit := rewardSoFar - travelSoFar*p.CostPerMeter
-		if profit > best.Profit+1e-12 && len(cur) > 0 {
-			best = buildPlan(p, cur)
-		}
-		last := p.Start
-		if len(cur) > 0 {
-			last = p.Candidates[cur[len(cur)-1]].Location
+		if profit > best.Profit+1e-12 && len(bf.cur) > 0 {
+			best = buildPlan(&p, bf.cur)
 		}
 		for k, idx := range idxs {
-			if used[k] {
+			if bf.used[k] {
 				continue
 			}
-			d := last.Dist(p.Candidates[idx].Location)
+			d := p.legDist(last, idx)
 			if budgetSoFar+d+p.PerTaskDistance > p.MaxDistance {
 				continue
 			}
-			used[k] = true
-			cur = append(cur, idx)
-			recurse(budgetSoFar+d+p.PerTaskDistance, travelSoFar+d, rewardSoFar+p.Candidates[idx].Reward)
-			cur = cur[:len(cur)-1]
-			used[k] = false
+			bf.used[k] = true
+			bf.cur = append(bf.cur, idx)
+			recurse(idx, budgetSoFar+d+p.PerTaskDistance, travelSoFar+d, rewardSoFar+p.Candidates[idx].Reward)
+			bf.cur = bf.cur[:len(bf.cur)-1]
+			bf.used[k] = false
 		}
 	}
-	recurse(0, 0, 0)
+	recurse(-1, 0, 0, 0)
 	return best, nil
 }

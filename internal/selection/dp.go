@@ -12,6 +12,16 @@ import (
 // paper makes the same observation in Section V-B).
 const DefaultDPMaxTasks = 20
 
+// DPHardMaxTasks is the largest MaxTasks the solver will honor, whatever
+// the configuration says. Beyond it the bitmask arithmetic silently breaks
+// (1 << m overflows a 32-bit int at m >= 31, the size*m table index soon
+// after, and the int8 parent links at m > 127) long after memory has
+// become absurd — 2^26 * 26 table entries are already ~14 GB. A configured
+// MaxTasks above this cap is clamped, and instances exceeding the clamped
+// cap are rejected with ErrTooManyTasks naming both limits, so oversized
+// configurations fail loudly instead of computing garbage.
+const DPHardMaxTasks = 26
+
 // DP is the paper's optimal dynamic-programming task selection algorithm
 // (Section V-A). It runs the Held-Karp style recurrence of Eq. 12 over
 // task subsets:
@@ -23,10 +33,24 @@ const DefaultDPMaxTasks = 20
 // whose shortest path fits the travel budget it returns the one with the
 // maximum profit (Eq. 1). Complexity O(m^2 2^m) time, O(m 2^m) space
 // (Theorem 2).
+//
+// A DP value keeps its tables between calls so repeated Selects (the
+// simulation's per-user hot loop) are allocation-free; it is therefore not
+// safe for concurrent use.
 type DP struct {
 	// MaxTasks bounds the filtered instance size; zero means
-	// DefaultDPMaxTasks.
+	// DefaultDPMaxTasks, values above DPHardMaxTasks are clamped to it.
 	MaxTasks int
+
+	// Reusable scratch, grown on demand and retained across calls.
+	idxs      []int
+	startDist []float64
+	dist      []float64
+	dp        []float64
+	rewardSum []float64
+	parent    []int8
+	orderRev  []int
+	order     []int
 }
 
 var _ Algorithm = (*DP)(nil)
@@ -34,37 +58,49 @@ var _ Algorithm = (*DP)(nil)
 // Name implements Algorithm.
 func (*DP) Name() string { return "dp" }
 
-// maxTasks resolves the configured cap.
+// maxTasks resolves the configured cap, clamped to DPHardMaxTasks.
 func (d *DP) maxTasks() int {
 	if d.MaxTasks <= 0 {
 		return DefaultDPMaxTasks
 	}
-	return d.MaxTasks
+	return min(d.MaxTasks, DPHardMaxTasks)
 }
 
 // Select implements Algorithm. It returns ErrTooManyTasks if more than
-// MaxTasks candidates survive reachability filtering.
+// maxTasks candidates survive reachability filtering.
 func (d *DP) Select(p Problem) (Plan, error) {
 	if err := p.Validate(); err != nil {
 		return Plan{}, err
 	}
-	idxs := reachable(p)
+	return d.selectValidated(&p)
+}
+
+// selectValidated is Select without re-validating (Auto validates once and
+// dispatches here).
+func (d *DP) selectValidated(p *Problem) (Plan, error) {
+	d.idxs = reachableInto(p, d.idxs)
+	idxs := d.idxs
 	m := len(idxs)
 	if m == 0 {
 		return Plan{}, nil
 	}
 	if m > d.maxTasks() {
+		if d.MaxTasks > DPHardMaxTasks {
+			return Plan{}, fmt.Errorf("%w: %d candidates, configured cap %d clamped to hard cap %d",
+				ErrTooManyTasks, m, d.MaxTasks, DPHardMaxTasks)
+		}
 		return Plan{}, fmt.Errorf("%w: %d candidates, cap %d", ErrTooManyTasks, m, d.maxTasks())
 	}
 
-	// Distance tables over the filtered candidates.
-	startDist := make([]float64, m)
-	dist := make([]float64, m*m)
+	// Distance tables over the filtered candidates, looked up in the shared
+	// round context when the problem carries one.
+	d.startDist = growFloats(d.startDist, m)
+	d.dist = growFloats(d.dist, m*m)
+	startDist, dist := d.startDist, d.dist
 	for a := 0; a < m; a++ {
-		la := p.Candidates[idxs[a]].Location
-		startDist[a] = p.Start.Dist(la)
+		startDist[a] = p.Start.Dist(p.Candidates[idxs[a]].Location)
 		for b := 0; b < m; b++ {
-			dist[a*m+b] = la.Dist(p.Candidates[idxs[b]].Location)
+			dist[a*m+b] = p.candDist(idxs[a], idxs[b])
 		}
 	}
 
@@ -73,8 +109,9 @@ func (d *DP) Select(p Problem) (Plan, error) {
 	// same visit count, so travel distance is recoverable per mask.
 	ovh := p.PerTaskDistance
 	size := 1 << m
-	dp := make([]float64, size*m)
-	parent := make([]int8, size*m)
+	d.dp = growFloats(d.dp, size*m)
+	d.parent = growInt8s(d.parent, size*m)
+	dp, parent := d.dp, d.parent
 	for i := range dp {
 		dp[i] = math.Inf(1)
 		parent[i] = -1
@@ -84,7 +121,9 @@ func (d *DP) Select(p Problem) (Plan, error) {
 	}
 
 	// Subset reward sums, built incrementally from each mask's lowest bit.
-	rewardSum := make([]float64, size)
+	d.rewardSum = growFloats(d.rewardSum, size)
+	rewardSum := d.rewardSum
+	rewardSum[0] = 0
 	for mask := 1; mask < size; mask++ {
 		low := bits.TrailingZeros(uint(mask))
 		rewardSum[mask] = rewardSum[mask&(mask-1)] + p.Candidates[idxs[low]].Reward
@@ -146,17 +185,17 @@ func (d *DP) Select(p Problem) (Plan, error) {
 	}
 
 	// Reconstruct the visiting order by walking parents back to the start.
-	orderRev := make([]int, 0, bits.OnesCount(uint(bestMask)))
+	d.orderRev = d.orderRev[:0]
 	mask, j := bestMask, bestEnd
 	for j >= 0 {
-		orderRev = append(orderRev, idxs[j])
+		d.orderRev = append(d.orderRev, idxs[j])
 		pj := parent[mask*m+j]
 		mask &^= 1 << j
 		j = int(pj)
 	}
-	order := make([]int, len(orderRev))
-	for i, v := range orderRev {
-		order[len(orderRev)-1-i] = v
+	d.order = growInts(d.order, len(d.orderRev))
+	for i, v := range d.orderRev {
+		d.order[len(d.orderRev)-1-i] = v
 	}
-	return buildPlan(p, order), nil
+	return buildPlan(p, d.order), nil
 }

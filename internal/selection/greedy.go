@@ -7,7 +7,14 @@ import "math"
 // largest marginal profit (reward minus the cost of moving there), subject
 // to the remaining travel budget, until no task yields a positive marginal
 // profit. Complexity O(m^2) (Theorem 3).
-type Greedy struct{}
+//
+// A Greedy value keeps scratch buffers between calls so repeated Selects
+// are allocation-free; it is not safe for concurrent use.
+type Greedy struct {
+	idxs  []int
+	taken []bool
+	order []int
+}
 
 var _ Algorithm = (*Greedy)(nil)
 
@@ -15,15 +22,30 @@ var _ Algorithm = (*Greedy)(nil)
 func (*Greedy) Name() string { return "greedy" }
 
 // Select implements Algorithm.
-func (*Greedy) Select(p Problem) (Plan, error) {
+func (g *Greedy) Select(p Problem) (Plan, error) {
 	if err := p.Validate(); err != nil {
 		return Plan{}, err
 	}
-	idxs := reachable(p)
-	taken := make([]bool, len(idxs))
-	cur := p.Start
+	return buildPlan(&p, g.selectOrder(&p)), nil
+}
+
+// selectOrder runs the greedy loop and returns the chosen candidate
+// indices in visiting order. The returned slice is solver-owned scratch,
+// valid until the next call.
+func (g *Greedy) selectOrder(p *Problem) []int {
+	g.idxs = reachableInto(p, g.idxs)
+	idxs := g.idxs
+	g.taken = growBools(g.taken, len(idxs))
+	taken := g.taken
+	for k := range taken {
+		taken[k] = false
+	}
+	// cur == -1 denotes the user's start location; afterwards it is the
+	// candidate index of the last visited task, so the shared round
+	// context serves the task-to-task distances.
+	cur := -1
 	budget := p.MaxDistance
-	var order []int
+	g.order = g.order[:0]
 	for {
 		best := -1
 		bestGain := 0.0
@@ -33,7 +55,7 @@ func (*Greedy) Select(p Problem) (Plan, error) {
 				continue
 			}
 			c := p.Candidates[idx]
-			d := cur.Dist(c.Location)
+			d := p.legDist(cur, idx)
 			if d+p.PerTaskDistance > budget {
 				continue
 			}
@@ -57,9 +79,9 @@ func (*Greedy) Select(p Problem) (Plan, error) {
 			break
 		}
 		taken[best] = true
-		order = append(order, idxs[best])
-		cur = p.Candidates[idxs[best]].Location
+		g.order = append(g.order, idxs[best])
+		cur = idxs[best]
 		budget -= bestDist + p.PerTaskDistance
 	}
-	return buildPlan(p, order), nil
+	return g.order
 }

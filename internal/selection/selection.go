@@ -11,6 +11,14 @@
 //   - BruteForce: an exhaustive reference used to validate DP in tests.
 //
 // plus a 2-opt order-improvement pass usable on any plan.
+//
+// The simulation calls Select once per user per round, so the package is
+// built for a hot loop: a RoundContext shares the round's task-pair
+// distance table across all users, and every solver keeps grow-only
+// scratch buffers that make steady-state calls allocation-free apart from
+// the returned Plan. Because of that scratch, an Algorithm value is NOT
+// safe for concurrent use; give each goroutine its own instance (they are
+// cheap — the scratch grows on first use).
 package selection
 
 import (
@@ -31,6 +39,10 @@ type Candidate struct {
 	Location geo.Point `json:"location"`
 	// Reward is the per-measurement reward offered this round.
 	Reward float64 `json:"reward"`
+	// CtxIndex is the candidate's task index in the Problem's shared
+	// RoundContext; meaningful only when Problem.Ctx is set, in which case
+	// Location must equal Ctx.Location(CtxIndex).
+	CtxIndex int `json:"-"`
 }
 
 // Problem is one user's task selection instance at one round.
@@ -50,6 +62,17 @@ type Problem struct {
 	// Candidates are the tasks available to this user (open, not yet
 	// contributed to by them).
 	Candidates []Candidate `json:"candidates"`
+	// Ctx is the optional per-round shared solver context. When set,
+	// solvers look task-pair distances up in its precomputed table (via
+	// each candidate's CtxIndex) instead of recomputing them per call.
+	// Results are bit-for-bit identical either way.
+	Ctx *RoundContext `json:"-"`
+	// CandidatesValid asserts that the caller has already validated the
+	// candidate set for this round (distinct ids, finite locations,
+	// non-NaN rewards, consistent CtxIndex linkage), letting Validate skip
+	// the per-candidate scan. The simulation validates each round's shared
+	// task set once instead of once per user selection call.
+	CandidatesValid bool `json:"-"`
 }
 
 // Common errors.
@@ -59,7 +82,14 @@ var (
 	ErrBadProblem         = errors.New("selection: invalid problem")
 )
 
-// Validate checks the problem instance.
+// dupScanThreshold is the largest candidate count checked for duplicate
+// ids with a quadratic scan. Below it the scan is both faster than a map
+// and allocation-free, which matters because Validate runs once per user
+// selection call; larger instances fall back to the map.
+const dupScanThreshold = 64
+
+// Validate checks the problem instance. It is allocation-free for
+// instances of at most dupScanThreshold candidates.
 func (p Problem) Validate() error {
 	if !p.Start.IsFinite() {
 		return fmt.Errorf("%w: non-finite start %v", ErrBadProblem, p.Start)
@@ -73,17 +103,41 @@ func (p Problem) Validate() error {
 	if p.PerTaskDistance < 0 || math.IsNaN(p.PerTaskDistance) {
 		return fmt.Errorf("%w: per-task distance %v", ErrBadProblem, p.PerTaskDistance)
 	}
-	seen := make(map[task.ID]bool, len(p.Candidates))
-	for _, c := range p.Candidates {
-		if seen[c.ID] {
-			return fmt.Errorf("%w: %d", ErrDuplicateCandidate, c.ID)
+	if p.CandidatesValid {
+		return nil
+	}
+	var seen map[task.ID]bool
+	if len(p.Candidates) > dupScanThreshold {
+		seen = make(map[task.ID]bool, len(p.Candidates))
+	}
+	for j, c := range p.Candidates {
+		if seen != nil {
+			if seen[c.ID] {
+				return fmt.Errorf("%w: %d", ErrDuplicateCandidate, c.ID)
+			}
+			seen[c.ID] = true
+		} else {
+			for i := 0; i < j; i++ {
+				if p.Candidates[i].ID == c.ID {
+					return fmt.Errorf("%w: %d", ErrDuplicateCandidate, c.ID)
+				}
+			}
 		}
-		seen[c.ID] = true
 		if !c.Location.IsFinite() {
 			return fmt.Errorf("%w: candidate %d non-finite location", ErrBadProblem, c.ID)
 		}
 		if math.IsNaN(c.Reward) {
 			return fmt.Errorf("%w: candidate %d NaN reward", ErrBadProblem, c.ID)
+		}
+		if p.Ctx != nil {
+			if c.CtxIndex < 0 || c.CtxIndex >= p.Ctx.n {
+				return fmt.Errorf("%w: candidate %d context index %d out of range [0, %d)",
+					ErrBadProblem, c.ID, c.CtxIndex, p.Ctx.n)
+			}
+			if c.Location != p.Ctx.locs[c.CtxIndex] {
+				return fmt.Errorf("%w: candidate %d location %v disagrees with context location %v",
+					ErrBadProblem, c.ID, c.Location, p.Ctx.locs[c.CtxIndex])
+			}
 		}
 	}
 	return nil
@@ -114,7 +168,9 @@ func (pl Plan) Empty() bool { return len(pl.Order) == 0 }
 // Len returns the number of selected tasks.
 func (pl Plan) Len() int { return len(pl.Order) }
 
-// Algorithm is a task selection solver.
+// Algorithm is a task selection solver. Implementations reuse internal
+// scratch between calls and are therefore not safe for concurrent use;
+// create one instance per goroutine.
 type Algorithm interface {
 	// Name returns a short identifier ("dp", "greedy", ...).
 	Name() string
@@ -123,10 +179,31 @@ type Algorithm interface {
 	Select(p Problem) (Plan, error)
 }
 
+// candDist returns the distance between candidates i and j, looked up in
+// the shared round context when one is attached and recomputed otherwise.
+// Both paths produce bit-for-bit identical values: the context stores the
+// result of the same geo.Point.Dist call.
+func (p *Problem) candDist(i, j int) float64 {
+	if p.Ctx != nil {
+		return p.Ctx.dist[p.Candidates[i].CtxIndex*p.Ctx.n+p.Candidates[j].CtxIndex]
+	}
+	return p.Candidates[i].Location.Dist(p.Candidates[j].Location)
+}
+
+// legDist returns the distance of the path leg from candidate i to
+// candidate j, where i == -1 denotes the user's start location.
+func (p *Problem) legDist(i, j int) float64 {
+	if i < 0 {
+		return p.Start.Dist(p.Candidates[j].Location)
+	}
+	return p.candDist(i, j)
+}
+
 // buildPlan assembles a Plan from an ordered candidate index sequence,
 // recomputing distance and accounting from scratch (the single source of
-// truth for plan arithmetic across all solvers).
-func buildPlan(p Problem, orderIdx []int) Plan {
+// truth for plan arithmetic across all solvers). The Order and Path slices
+// are freshly allocated: a Plan outlives the solver call that produced it.
+func buildPlan(p *Problem, orderIdx []int) Plan {
 	if len(orderIdx) == 0 {
 		return Plan{}
 	}
@@ -135,28 +212,30 @@ func buildPlan(p Problem, orderIdx []int) Plan {
 		Path:  make(geo.Path, 0, len(orderIdx)+1),
 	}
 	plan.Path = append(plan.Path, p.Start)
-	cur := p.Start
+	prev := -1
 	for _, idx := range orderIdx {
 		c := p.Candidates[idx]
 		plan.Order = append(plan.Order, c.ID)
 		plan.Path = append(plan.Path, c.Location)
-		plan.Distance += cur.Dist(c.Location)
+		plan.Distance += p.legDist(prev, idx)
 		plan.Reward += c.Reward
-		cur = c.Location
+		prev = idx
 	}
 	plan.Cost = plan.Distance * p.CostPerMeter
 	plan.Profit = plan.Reward - plan.Cost
 	return plan
 }
 
-// reachable returns the indices of candidates that can be visited at all
-// within the budget (their direct distance from the start, plus the
-// per-task overhead, does not exceed MaxDistance) and offer a positive
-// reward. Dropping the rest is sound: visiting a task always consumes at
-// least the direct distance plus its overhead, and a non-positive-reward
-// task can never increase profit since detours are never free.
-func reachable(p Problem) []int {
-	var out []int
+// reachableInto appends to buf[:0] the indices of candidates that can be
+// visited at all within the budget (their direct distance from the start,
+// plus the per-task overhead, does not exceed MaxDistance) and offer a
+// positive reward. Dropping the rest is sound: visiting a task always
+// consumes at least the direct distance plus its overhead, and a
+// non-positive-reward task can never increase profit since detours are
+// never free. Callers pass solver-owned scratch so steady state is
+// allocation-free.
+func reachableInto(p *Problem, buf []int) []int {
+	out := buf[:0]
 	for i, c := range p.Candidates {
 		if c.Reward <= 0 {
 			continue
@@ -166,6 +245,40 @@ func reachable(p Problem) []int {
 		}
 	}
 	return out
+}
+
+// growFloats returns a zero-filled-on-demand float slice of length n,
+// reusing buf's storage when possible. Contents are unspecified; callers
+// must initialize every element they read.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growInts is growFloats for int slices.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growInt8s is growFloats for int8 slices.
+func growInt8s(buf []int8, n int) []int8 {
+	if cap(buf) < n {
+		return make([]int8, n)
+	}
+	return buf[:n]
+}
+
+// growBools is growFloats for bool slices.
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
 }
 
 // budgetUsed returns the budget a plan consumes: travel distance plus the

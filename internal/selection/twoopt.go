@@ -1,17 +1,18 @@
 package selection
 
-import (
-	"paydemand/internal/geo"
-	"paydemand/internal/task"
-)
-
 // TwoOptGreedy runs the greedy heuristic and then improves the visiting
 // order of the selected set with 2-opt moves (reversing path segments that
 // shorten the walk). The task set is unchanged, so the reward is identical
 // to greedy's; the shorter walk can only raise the profit. It is the
 // nearest-neighbor-plus-improvement baseline used in the ablation
 // benchmarks.
-type TwoOptGreedy struct{}
+//
+// Like the other solvers it reuses scratch (including its embedded greedy
+// pass) between calls and is not safe for concurrent use.
+type TwoOptGreedy struct {
+	greedy Greedy
+	order  []int
+}
 
 var _ Algorithm = (*TwoOptGreedy)(nil)
 
@@ -19,42 +20,33 @@ var _ Algorithm = (*TwoOptGreedy)(nil)
 func (*TwoOptGreedy) Name() string { return "greedy+2opt" }
 
 // Select implements Algorithm.
-func (*TwoOptGreedy) Select(p Problem) (Plan, error) {
-	base, err := (&Greedy{}).Select(p)
-	if err != nil || base.Empty() {
-		return base, err
+func (t *TwoOptGreedy) Select(p Problem) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
 	}
-	locByID := make(map[task.ID]geo.Point, len(p.Candidates))
-	idxByID := make(map[task.ID]int, len(p.Candidates))
-	for i, c := range p.Candidates {
-		locByID[c.ID] = c.Location
-		idxByID[c.ID] = i
+	base := t.greedy.selectOrder(&p)
+	if len(base) == 0 {
+		return Plan{}, nil
 	}
-	order := make([]task.ID, len(base.Order))
-	copy(order, base.Order)
-	improveOrder(p.Start, order, locByID)
-
-	orderIdx := make([]int, len(order))
-	for i, id := range order {
-		orderIdx[i] = idxByID[id]
-	}
-	plan := buildPlan(p, orderIdx)
+	t.order = append(t.order[:0], base...)
+	improveOrder(&p, t.order)
 	// 2-opt never lengthens the walk, so the plan stays within budget.
-	return plan, nil
+	return buildPlan(&p, t.order), nil
 }
 
 // improveOrder applies 2-opt segment reversals in place until no move
-// shortens the open tour that starts at start.
-func improveOrder(start geo.Point, order []task.ID, loc map[task.ID]geo.Point) {
+// shortens the open tour that starts at the problem's start location.
+// order holds candidate indices; index -1 denotes the start.
+func improveOrder(p *Problem, order []int) {
 	n := len(order)
 	if n < 2 {
 		return
 	}
-	pointAt := func(i int) geo.Point {
+	at := func(i int) int {
 		if i < 0 {
-			return start
+			return -1
 		}
-		return loc[order[i]]
+		return order[i]
 	}
 	improved := true
 	for improved {
@@ -64,14 +56,14 @@ func improveOrder(start geo.Point, order []task.ID, loc map[task.ID]geo.Point) {
 				// Reversing order[i..j] replaces edges (i-1,i) and (j,j+1)
 				// with (i-1,j) and (i,j+1). For an open tour the edge after
 				// j may not exist.
-				before := pointAt(i - 1).Dist(pointAt(i))
+				before := p.legDist(at(i-1), at(i))
 				after := 0.0
 				newAfter := 0.0
 				if j+1 < n {
-					after = pointAt(j).Dist(pointAt(j + 1))
-					newAfter = pointAt(i).Dist(pointAt(j + 1))
+					after = p.legDist(at(j), at(j+1))
+					newAfter = p.legDist(at(i), at(j+1))
 				}
-				newBefore := pointAt(i - 1).Dist(pointAt(j))
+				newBefore := p.legDist(at(i-1), at(j))
 				if newBefore+newAfter < before+after-1e-12 {
 					for a, b := i, j; a < b; a, b = a+1, b-1 {
 						order[a], order[b] = order[b], order[a]

@@ -142,8 +142,16 @@ type Config struct {
 	// churn) instead of persisting end-of-round positions.
 	ResetLocations bool `json:"reset_locations"`
 	// DPMaxTasks caps the exact solver's instance size (see selection.DP);
-	// zero means selection.DefaultDPMaxTasks.
+	// zero means selection.DefaultDPMaxTasks. Values above
+	// selection.DPHardMaxTasks are rejected: the DP table would overflow
+	// its index arithmetic (and any realistic memory) before reaching them.
 	DPMaxTasks int `json:"dp_max_tasks"`
+	// DisableRoundContext turns off the per-round shared solver context
+	// (the task-pair distance table computed once per round and reused by
+	// every user's selection call) and recomputes distances per user
+	// instead. Results are bit-for-bit identical either way; the flag
+	// exists for equivalence testing and debugging, not for production.
+	DisableRoundContext bool `json:"disable_round_context,omitempty"`
 	// SensingTime is the seconds one measurement takes on site. The paper
 	// assumes it negligible (its default, 0); a positive value consumes
 	// user time budget per selected task.
@@ -242,6 +250,10 @@ func (c Config) Validate() error {
 	if c.Budget <= 0 || c.RewardLambda < 0 || c.DemandLevels < 1 {
 		return fmt.Errorf("sim: bad reward parameters (budget %v, lambda %v, levels %d)",
 			c.Budget, c.RewardLambda, c.DemandLevels)
+	}
+	if c.DPMaxTasks > selection.DPHardMaxTasks {
+		return fmt.Errorf("sim: dp max tasks %d exceeds solver hard cap %d",
+			c.DPMaxTasks, selection.DPHardMaxTasks)
 	}
 	if c.SensingTime < 0 {
 		return fmt.Errorf("sim: sensing time %v, want >= 0", c.SensingTime)

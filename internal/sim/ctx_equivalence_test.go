@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"paydemand/internal/workload"
+)
+
+// equivCfg is a scenario heavy enough to exercise every hot path the
+// round-level cache touches: open-task churn across deadlines, per-task
+// sensing overhead, user mobility, and population churn.
+func equivCfg(alg AlgorithmKind) Config {
+	return Config{
+		Workload:    workload.Config{NumUsers: 40, NumTasks: 12},
+		Algorithm:   alg,
+		Rounds:      6,
+		SensingTime: 20,
+		Mobility:    MobilityRandomWaypoint,
+		ChurnRate:   0.05,
+	}
+}
+
+// TestRoundContextDeterminism asserts the headline guarantee of the
+// round-level caching architecture: for every solver, a trial run with the
+// shared per-round context produces trial JSON byte-identical to the same
+// trial with the context disabled (per-user distance recomputation). The
+// cache is a pure lookup of the same float operations, so not a single
+// bit may move.
+func TestRoundContextDeterminism(t *testing.T) {
+	algs := []AlgorithmKind{AlgorithmDP, AlgorithmGreedy, AlgorithmAuto, AlgorithmTwoOpt}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			run := func(disable bool) []byte {
+				cfg := equivCfg(alg)
+				cfg.DisableRoundContext = disable
+				res, err := Run(cfg, 4242)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			cached, direct := run(false), run(true)
+			if !bytes.Equal(cached, direct) {
+				t.Fatalf("cached trial JSON differs from direct trial JSON\ncached: %s\ndirect: %s", cached, direct)
+			}
+		})
+	}
+}
+
+// TestConfigRejectsOversizedDPMaxTasks pins the loud failure for the DP
+// overflow misconfiguration at the config layer.
+func TestConfigRejectsOversizedDPMaxTasks(t *testing.T) {
+	cfg := Config{DPMaxTasks: 64}
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("DPMaxTasks 64 validated, want error")
+	}
+	if !strings.Contains(err.Error(), "hard cap") {
+		t.Errorf("error %q does not mention the hard cap", err)
+	}
+}

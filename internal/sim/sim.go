@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"paydemand/internal/agent"
 	"paydemand/internal/geo"
@@ -22,7 +23,11 @@ type Observer interface {
 	// RoundStart fires after reward update and task publication.
 	RoundStart(round int, rewards map[task.ID]float64)
 	// UserPlanned fires after each user's task selection, whether or not
-	// the plan is empty.
+	// the plan is empty. The problem (including its Candidates slice and
+	// shared round context) is backed by simulation-owned buffers that are
+	// reused for the next user: it is valid only for the duration of the
+	// call, so observers that retain it must copy what they keep. The plan
+	// is the observer's to keep.
 	UserPlanned(round int, userID int, problem selection.Problem, plan selection.Plan)
 	// RoundEnd fires after all users have acted, with the round's stats.
 	RoundEnd(round int, stats metrics.RoundStats)
@@ -62,6 +67,18 @@ type Simulation struct {
 	// final profit accounting covers everyone who participated.
 	departedProfits []float64
 	ran             bool
+
+	// Per-round scratch, reused across rounds and users so the steady-state
+	// round loop runs without allocations: the shared solver context over
+	// the round's open tasks, its location slice, the per-user candidate
+	// buffer (see Observer.UserPlanned for the resulting aliasing rules),
+	// the mechanism's task views, and the idle-time tracker.
+	roundCtx *selection.RoundContext
+	taskLocs []geo.Point
+	candBuf  []selection.Candidate
+	viewBuf  []incentive.TaskView
+	idleBuf  []float64
+	userLocs []geo.Point
 }
 
 // New generates a scenario from cfg.Workload with the given seed and
@@ -239,12 +256,47 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 			}
 			rs.MeanPublishedReward = total / float64(len(rewards))
 		}
+		// Validate the round's shared selection inputs once, here, instead
+		// of once per user selection call: reward sanity below, task
+		// locations inside the round-context build (or the explicit loop on
+		// the uncached path). problemFor then marks its problems
+		// CandidatesValid.
+		for id, r := range rewards {
+			if math.IsNaN(r) {
+				return rs, fmt.Errorf("mechanism %s: NaN reward for task %d", s.mech.Name(), id)
+			}
+		}
+		if s.cfg.DisableRoundContext {
+			for _, st := range open {
+				if !st.Location.IsFinite() {
+					return rs, fmt.Errorf("task %d: non-finite location %v", st.ID, st.Location)
+				}
+			}
+		} else {
+			// The shared per-round solver context: the open tasks' pairwise
+			// distance table, computed once and reused by every user's
+			// selection call this round (task locations are static within a
+			// round). Storage is recycled from the previous round.
+			s.taskLocs = s.taskLocs[:0]
+			for _, st := range open {
+				s.taskLocs = append(s.taskLocs, st.Location)
+			}
+			if s.roundCtx == nil {
+				s.roundCtx = &selection.RoundContext{}
+			}
+			if err := s.roundCtx.Reset(s.taskLocs); err != nil {
+				return rs, err
+			}
+		}
 	}
 	obs.RoundStart(k, rewards)
 
 	// idle tracks each user's leftover time this round, which feeds the
 	// between-round mobility model.
-	idle := make([]float64, len(s.users))
+	if cap(s.idleBuf) < len(s.users) {
+		s.idleBuf = make([]float64, len(s.users))
+	}
+	idle := s.idleBuf[:len(s.users)]
 	for i, u := range s.users {
 		idle[i] = u.TimeBudget
 	}
@@ -323,12 +375,18 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 
 // taskViews builds the mechanism's per-task observations, counting each
 // task's neighboring users with a grid index over current user locations.
+// The returned slice is simulation-owned scratch, valid until the next
+// round (mechanisms consume it synchronously inside Rewards).
 func (s *Simulation) taskViews(open []*task.State) ([]incentive.TaskView, error) {
-	grid, err := geo.NewGridIndex(s.scenario.Area, s.cfg.NeighborRadius, agent.Locations(s.users))
+	s.userLocs = agent.LocationsInto(s.userLocs, s.users)
+	grid, err := geo.NewGridIndex(s.scenario.Area, s.cfg.NeighborRadius, s.userLocs)
 	if err != nil {
 		return nil, err
 	}
-	views := make([]incentive.TaskView, len(open))
+	if cap(s.viewBuf) < len(open) {
+		s.viewBuf = make([]incentive.TaskView, len(open))
+	}
+	views := s.viewBuf[:len(open)]
 	for i, st := range open {
 		views[i] = incentive.TaskView{
 			ID:        st.ID,
@@ -346,23 +404,37 @@ func (s *Simulation) taskViews(open []*task.State) ([]incentive.TaskView, error)
 // published task the user has not already contributed to, priced at this
 // round's rewards, and still accepting measurements. Candidates follow the
 // board's task order so the simulation is deterministic under a seed.
+//
+// The candidate slice is simulation-owned scratch shared by all users of a
+// round, and the problem links the round's shared solver context (each
+// candidate's CtxIndex is its slot in the open task list the context was
+// built over). The shared inputs were validated in runRound, so the
+// problem is marked CandidatesValid and solvers skip the per-candidate
+// re-validation.
 func (s *Simulation) problemFor(u *agent.User, k int, open []*task.State, rewards map[task.ID]float64) selection.Problem {
 	p := selection.Problem{
 		Start:           u.Location,
 		MaxDistance:     u.MaxTravelDistance(),
 		CostPerMeter:    u.CostPerMeter,
 		PerTaskDistance: s.cfg.SensingTime * u.Speed,
+		CandidatesValid: true,
 	}
-	for _, st := range open {
+	if !s.cfg.DisableRoundContext {
+		p.Ctx = s.roundCtx
+	}
+	s.candBuf = s.candBuf[:0]
+	for i, st := range open {
 		if !st.OpenAt(k) || st.Contributed(u.ID) || u.HasDone(st.ID) {
 			continue
 		}
-		p.Candidates = append(p.Candidates, selection.Candidate{
+		s.candBuf = append(s.candBuf, selection.Candidate{
 			ID:       st.ID,
 			Location: st.Location,
 			Reward:   rewards[st.ID],
+			CtxIndex: i,
 		})
 	}
+	p.Candidates = s.candBuf
 	return p
 }
 
