@@ -54,9 +54,16 @@ func run(args []string, out io.Writer) error {
 		mobility  = fs.String("mobility", "stationary", "between-round movement: stationary | random-waypoint | levy-walk")
 		compare   = fs.Bool("compare", false, "run on-demand, fixed, steered and the SAT auction side by side")
 		parallel  = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU, 1 = sequential); results are identical at any setting")
+		roundPar  = fs.Int("round-parallel", 1, "speculative solver goroutines within each round (0 = one per CPU, 1 = sequential); results are identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *roundPar < 0 {
+		return fmt.Errorf("round-parallel %d, want >= 0", *roundPar)
+	}
+	if *roundPar == 0 {
+		*roundPar = runtime.GOMAXPROCS(0)
 	}
 
 	mech, err := parseMechanism(*mechanism)
@@ -86,6 +93,7 @@ func run(args []string, out io.Writer) error {
 		ChurnRate:        *churn,
 		TimeBudgetJitter: *jitter,
 		Mobility:         mob,
+		RoundParallelism: *roundPar,
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -128,6 +136,23 @@ func run(args []string, out io.Writer) error {
 		agg.Add(res)
 	}
 	summary := agg.Summary()
+
+	// Speculation diagnostics go to stderr so stdout stays byte-identical
+	// with a sequential run (they are engine health indicators, not
+	// campaign metrics).
+	if *roundPar > 1 {
+		var solves, replays int
+		for _, res := range results {
+			solves += res.SpeculativeSolves
+			replays += res.ConflictReplays
+		}
+		rate := 0.0
+		if solves > 0 {
+			rate = float64(replays) / float64(solves)
+		}
+		fmt.Fprintf(os.Stderr, "round-parallel=%d speculative-solves=%d conflict-replays=%d replay-rate=%.4f\n",
+			*roundPar, solves, replays, rate)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(out)

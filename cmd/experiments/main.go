@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"paydemand/internal/experiments"
@@ -39,10 +40,17 @@ func run(args []string, out io.Writer) error {
 		csvDir   = fs.String("csv", "", "directory to also write <figure>.csv files into")
 		list     = fs.Bool("list", false, "list the available figure IDs and exit")
 		parallel = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU, 1 = sequential); output is identical at any setting")
+		roundPar = fs.Int("round-parallel", 1, "speculative solver goroutines within each round (0 = one per CPU, 1 = sequential); output is identical at any setting")
 		progress = fs.Bool("progress", false, "report completed/total trials on stderr while a figure runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *roundPar < 0 {
+		return fmt.Errorf("round-parallel %d, want >= 0", *roundPar)
+	}
+	if *roundPar == 0 {
+		*roundPar = runtime.GOMAXPROCS(0)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -74,6 +82,10 @@ func run(args []string, out io.Writer) error {
 		SeriesUsers: *users,
 		Parallelism: *parallel,
 	}
+	// Round-level speculation composes with trial-level parallelism: every
+	// runner builds its sim.Config from Base, so the knob flows to each
+	// figure without per-figure plumbing.
+	opts.Base.RoundParallelism = *roundPar
 	for _, id := range ids {
 		if *progress {
 			opts.Progress = func(done, total int) {

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
 	"paydemand/internal/aggregate"
 	"paydemand/internal/reputation"
+	"paydemand/internal/selection"
 	"paydemand/internal/task"
 	"paydemand/internal/wire"
 )
@@ -147,6 +149,95 @@ func recordReason(err error) string {
 	default:
 		return err.Error()
 	}
+}
+
+// handlePlan solves a worker's task selection problem against the current
+// round's published rewards. The round state (candidates, shared distance
+// context, round number) is snapshotted under the lock, but the solve
+// itself runs outside it on a pooled solver, so any number of workers can
+// plan concurrently without serializing behind each other or blocking
+// uploads.
+func (p *Platform) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req wire.PlanRequest
+	if err := decode(r, &req); err != nil {
+		p.writeError(w, http.StatusBadRequest, "bad plan body: %v", err)
+		return
+	}
+	if !req.Location.IsFinite() {
+		p.writeError(w, http.StatusBadRequest, "non-finite location")
+		return
+	}
+	if req.Speed <= 0 || math.IsNaN(req.Speed) {
+		p.writeError(w, http.StatusBadRequest, "speed %v, want > 0", req.Speed)
+		return
+	}
+	if req.TimeBudget < 0 || math.IsNaN(req.TimeBudget) {
+		p.writeError(w, http.StatusBadRequest, "time budget %v, want >= 0", req.TimeBudget)
+		return
+	}
+	if req.CostPerMeter < 0 || math.IsNaN(req.CostPerMeter) {
+		p.writeError(w, http.StatusBadRequest, "cost per meter %v, want >= 0", req.CostPerMeter)
+		return
+	}
+
+	p.mu.Lock()
+	if _, known := p.workers[req.UserID]; !known {
+		p.mu.Unlock()
+		p.writeError(w, http.StatusNotFound, "unknown worker %d", req.UserID)
+		return
+	}
+	if p.done {
+		p.mu.Unlock()
+		p.writeError(w, http.StatusConflict, "campaign is done")
+		return
+	}
+	p.workers[req.UserID] = req.Location
+	round := p.round
+	problem := selection.Problem{
+		Start:        req.Location,
+		MaxDistance:  req.Speed * req.TimeBudget,
+		CostPerMeter: req.CostPerMeter,
+		Ctx:          p.planCtx,
+	}
+	for _, st := range p.board.OpenAt(round) {
+		reward, priced := p.rewards[st.ID]
+		if !priced || st.Contributed(req.UserID) {
+			continue
+		}
+		ctxIdx, inCtx := p.planCtxIdx[st.ID]
+		if !inCtx {
+			// Cannot happen while the open set only shrinks within a
+			// round, but degrade to direct distance computation rather
+			// than hand the solver a broken context linkage.
+			problem.Ctx = nil
+		}
+		problem.Candidates = append(problem.Candidates, selection.Candidate{
+			ID:       st.ID,
+			Location: st.Location,
+			Reward:   reward,
+			CtxIndex: ctxIdx,
+		})
+	}
+	p.mu.Unlock()
+
+	alg := p.planners.Get()
+	plan, err := alg.Select(problem)
+	p.planners.Put(alg)
+	if err != nil {
+		p.writeError(w, http.StatusInternalServerError, "plan: %v", err)
+		return
+	}
+	p.logger.Info("plan solved",
+		"user_id", req.UserID, "round", round,
+		"candidates", len(problem.Candidates), "selected", plan.Len(), "profit", plan.Profit)
+	p.writeJSON(w, http.StatusOK, wire.PlanResponse{
+		Round:    round,
+		Order:    plan.Order,
+		Distance: plan.Distance,
+		Reward:   plan.Reward,
+		Cost:     plan.Cost,
+		Profit:   plan.Profit,
+	})
 }
 
 // handleAdvance moves to the next round.

@@ -16,6 +16,7 @@ import (
 	"paydemand/internal/geo"
 	"paydemand/internal/incentive"
 	"paydemand/internal/reputation"
+	"paydemand/internal/selection"
 	"paydemand/internal/task"
 	"paydemand/internal/wire"
 )
@@ -49,6 +50,12 @@ type Config struct {
 	// ReputationTolerance is the deviation scale used when scoring
 	// agreement (see reputation.Agreement); zero means 5.
 	ReputationTolerance float64
+	// Planner constructs the task selection solver behind POST /v1/plan;
+	// nil means selection.Auto with default thresholds. The factory must
+	// return a fresh instance per call: solvers keep scratch between calls
+	// and the platform pools them so concurrent planning requests each get
+	// exclusive use of one (see selection.SolverPool).
+	Planner func() selection.Algorithm
 	// Logger receives operational logs; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -60,6 +67,11 @@ type Platform struct {
 	logger *slog.Logger
 	mux    *http.ServeMux
 
+	// planners pools selection solvers for /v1/plan so concurrent planning
+	// requests solve in parallel, each on its own scratch-owning instance,
+	// without holding mu.
+	planners *selection.SolverPool
+
 	mu      sync.Mutex
 	board   *task.Board
 	round   int
@@ -67,6 +79,15 @@ type Platform struct {
 	rewards map[task.ID]float64
 	workers map[int]geo.Point // worker id -> last known location
 	nextID  int
+	// planCtx is the round's shared solver context (pairwise distances
+	// over the tasks open at reprice time) with planCtxIdx mapping task
+	// IDs to context slots. A fresh context is allocated at every reprice
+	// rather than Reset in place: planning requests solve against it
+	// outside the lock, and an in-flight solve must never observe a
+	// mutation. The open set only shrinks within a round, so every task
+	// still open is in the context.
+	planCtx    *selection.RoundContext
+	planCtxIdx map[task.ID]int
 	// contribs stores who uploaded what per task, for aggregation (e.g.
 	// building a noise map) and reputation scoring.
 	contribs map[task.ID][]reputation.Contribution
@@ -101,9 +122,14 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.ReputationTolerance < 0 {
 		return nil, fmt.Errorf("server: reputation tolerance %v, want > 0", cfg.ReputationTolerance)
 	}
+	planner := cfg.Planner
+	if planner == nil {
+		planner = func() selection.Algorithm { return &selection.Auto{} }
+	}
 	p := &Platform{
 		cfg:      cfg,
 		logger:   logger,
+		planners: selection.NewSolverPool(planner),
 		board:    board,
 		round:    1,
 		workers:  make(map[int]geo.Point),
@@ -118,6 +144,7 @@ func New(cfg Config) (*Platform, error) {
 	p.mux.HandleFunc("GET "+wire.PathHealth, p.handleHealth)
 	p.mux.HandleFunc("GET "+wire.PathEstimate, p.handleEstimate)
 	p.mux.HandleFunc("GET "+wire.PathReputation, p.handleReputation)
+	p.mux.HandleFunc("POST "+wire.PathPlan, p.handlePlan)
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -146,6 +173,8 @@ func (p *Platform) repriceLocked() error {
 	open := p.board.OpenAt(p.round)
 	if len(open) == 0 {
 		p.rewards = nil
+		p.planCtx = nil
+		p.planCtxIdx = nil
 		return nil
 	}
 	locs := make([]geo.Point, 0, len(p.workers))
@@ -172,6 +201,19 @@ func (p *Platform) repriceLocked() error {
 		return err
 	}
 	p.rewards = rewards
+
+	taskLocs := make([]geo.Point, len(open))
+	idx := make(map[task.ID]int, len(open))
+	for i, st := range open {
+		taskLocs[i] = st.Location
+		idx[st.ID] = i
+	}
+	ctx, err := selection.NewRoundContext(taskLocs)
+	if err != nil {
+		return err
+	}
+	p.planCtx = ctx
+	p.planCtxIdx = idx
 	return nil
 }
 

@@ -167,6 +167,16 @@ type Config struct {
 	// Mobility moves users between rounds with the time they did not
 	// spend on tasks; zero means stationary (the paper's implicit model).
 	Mobility MobilityKind `json:"mobility"`
+	// RoundParallelism is the number of worker goroutines that solve the
+	// per-user task selection problems of one round concurrently. Zero or
+	// one runs the historical sequential loop. Higher values use the
+	// speculative engine: every user's problem is solved against the
+	// round-start snapshot in parallel, plans are committed in the usual
+	// random user order, and a user is re-solved inline only when an
+	// earlier commit filled a task in its candidate set — so results are
+	// byte-identical to the sequential loop at any setting (see DESIGN.md
+	// section 10).
+	RoundParallelism int `json:"round_parallelism,omitempty"`
 }
 
 // MobilityKind selects the between-round user movement model.
@@ -263,6 +273,9 @@ func (c Config) Validate() error {
 	}
 	if c.ChurnRate < 0 || c.ChurnRate >= 1 {
 		return fmt.Errorf("sim: churn rate %v, want in [0, 1)", c.ChurnRate)
+	}
+	if c.RoundParallelism < 0 {
+		return fmt.Errorf("sim: round parallelism %d, want >= 0 (0 or 1 = sequential)", c.RoundParallelism)
 	}
 	switch c.Mobility {
 	case MobilityStationary, MobilityRandomWaypoint, MobilityLevyWalk:

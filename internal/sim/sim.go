@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"paydemand/internal/agent"
 	"paydemand/internal/geo"
@@ -79,6 +81,31 @@ type Simulation struct {
 	viewBuf  []incentive.TaskView
 	idleBuf  []float64
 	userLocs []geo.Point
+	// permBuf is the grow-only per-round user-order permutation buffer
+	// (filled by PermInto with the exact draws Perm used to make).
+	permBuf []int
+
+	// Speculative parallel round engine state (RoundParallelism > 1): the
+	// solver pool giving each worker goroutine its own scratch-owning
+	// Algorithm, the per-position speculation slots (each with its own
+	// grow-only candidate buffer so a speculative problem stays valid
+	// through its commit), and the IDs of tasks filled by commits of the
+	// current round (the conflict set that triggers inline replays).
+	pool      *selection.SolverPool
+	spec      []speculation
+	closedBuf []task.ID
+}
+
+// speculation is one user's concurrently solved selection for the current
+// round: the problem built against the round-start snapshot (over the
+// slot's own candidate buffer), the resulting plan, and any solver error
+// (surfaced at the user's commit position, exactly where the sequential
+// loop would have hit it).
+type speculation struct {
+	problem selection.Problem
+	cand    []selection.Candidate
+	plan    selection.Plan
+	err     error
 }
 
 // New generates a scenario from cfg.Workload with the given seed and
@@ -146,6 +173,16 @@ func NewFromScenario(cfg Config, sc workload.Scenario, seed int64) (*Simulation,
 		}
 		s.users[i] = u
 	}
+	if cfg.RoundParallelism > 1 {
+		s.pool = selection.NewSolverPool(func() selection.Algorithm {
+			a, err := cfg.buildAlgorithm()
+			if err != nil {
+				// Unreachable: the same configuration built s.alg above.
+				panic(err)
+			}
+			return a
+		})
+	}
 	return s, nil
 }
 
@@ -208,6 +245,8 @@ func (s *Simulation) Run(obs Observer) (metrics.TrialResult, error) {
 		}
 		result.Rounds = append(result.Rounds, rs)
 		result.RoundsRun = k
+		result.SpeculativeSolves += rs.SpeculativeSolves
+		result.ConflictReplays += rs.ConflictReplays
 	}
 
 	result.Coverage = s.board.Coverage()
@@ -304,35 +343,12 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 		// Users act in a random order each round; each sees the round's
 		// published rewards but only tasks still accepting measurements at
 		// its turn (the WST mode's redundant-completion drawback is thereby
-		// bounded by phi per task).
-		for _, ui := range s.orderRNG.Perm(len(s.users)) {
-			u := s.users[ui]
-			problem := s.problemFor(u, k, open, rewards)
-			plan, err := s.alg.Select(problem)
-			if err != nil {
-				return rs, fmt.Errorf("user %d: %w", u.ID, err)
-			}
-			obs.UserPlanned(k, u.ID, problem, plan)
-			if plan.Empty() {
-				continue
-			}
-			for _, id := range plan.Order {
-				if err := s.board.Get(id).Record(u.ID, k, rewards[id]); err != nil {
-					return rs, fmt.Errorf("user %d task %d: %w", u.ID, id, err)
-				}
-				u.MarkDone(id)
-			}
-			u.AddProfit(plan.Profit)
-			rs.RoundProfit += plan.Profit
-			rs.ActiveUsers++
-			if end, ok := plan.Path.End(); ok {
-				u.MoveTo(end)
-			}
-			spent := u.TravelTime(plan.Distance) + s.cfg.SensingTime*float64(plan.Len())
-			idle[ui] -= spent
-			if idle[ui] < 0 {
-				idle[ui] = 0
-			}
+		// bounded by phi per task). The permutation buffer is recycled
+		// across rounds; PermInto consumes exactly the draws Perm made, so
+		// seeded results are untouched.
+		s.permBuf = s.orderRNG.PermInto(s.permBuf, len(s.users))
+		if err := s.runUsers(k, s.permBuf, open, rewards, obs, &rs, idle); err != nil {
+			return rs, err
 		}
 	}
 
@@ -371,6 +387,139 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 	rs.RewardPaid = s.board.TotalRewardPaid()
 	obs.RoundEnd(k, rs)
 	return rs, nil
+}
+
+// runUsers executes the distributed-selection half of one round: each user
+// in perm order solves its selection problem and commits the resulting
+// plan (records, profit, movement, idle-time bookkeeping).
+//
+// With RoundParallelism <= 1 this is the historical sequential loop. Above
+// that it becomes a speculate/commit protocol: every user's problem is
+// solved concurrently against the round-start snapshot (phase A, no board
+// mutation), then plans are committed one by one in the same perm order
+// (phase B). The only way an earlier commit can change a later user's
+// problem is by filling a task to its phi cap — closing it — so a user is
+// re-solved inline at its commit position exactly when a task filled
+// earlier this round was still in its candidate set; otherwise its
+// speculative problem equals the problem the sequential loop would have
+// built, and the speculative plan (and even the speculative solver error)
+// is byte-identical to the sequential outcome. Note the trigger is
+// candidate overlap, not Plan.Touches overlap: a solver may legitimately
+// depend on candidates it does not select (Auto dispatches DP vs greedy on
+// the reachable-candidate count), so an untouched-but-selectable closed
+// task still forces a replay.
+func (s *Simulation) runUsers(k int, perm []int, open []*task.State, rewards map[task.ID]float64, obs Observer, rs *metrics.RoundStats, idle []float64) error {
+	parallel := s.pool != nil && len(perm) > 1
+	if parallel {
+		s.speculate(k, perm, open, rewards)
+		rs.SpeculativeSolves = len(perm)
+		s.closedBuf = s.closedBuf[:0]
+	}
+	for pos, ui := range perm {
+		u := s.users[ui]
+		var problem selection.Problem
+		var plan selection.Plan
+		var err error
+		if parallel && !s.invalidated(u) {
+			sp := &s.spec[pos]
+			problem, plan, err = sp.problem, sp.plan, sp.err
+		} else {
+			// Sequential mode — or an earlier commit closed a task this
+			// user could still have selected: solve against the current
+			// board state, exactly as the sequential loop would at this
+			// position.
+			problem = s.problemFor(u, k, open, rewards)
+			plan, err = s.alg.Select(problem)
+			if parallel {
+				rs.ConflictReplays++
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("user %d: %w", u.ID, err)
+		}
+		obs.UserPlanned(k, u.ID, problem, plan)
+		if plan.Empty() {
+			continue
+		}
+		for _, id := range plan.Order {
+			st := s.board.Get(id)
+			if err := st.Record(u.ID, k, rewards[id]); err != nil {
+				return fmt.Errorf("user %d task %d: %w", u.ID, id, err)
+			}
+			if parallel && st.Complete() {
+				s.closedBuf = append(s.closedBuf, id)
+			}
+			u.MarkDone(id)
+		}
+		u.AddProfit(plan.Profit)
+		rs.RoundProfit += plan.Profit
+		rs.ActiveUsers++
+		if end, ok := plan.Path.End(); ok {
+			u.MoveTo(end)
+		}
+		spent := u.TravelTime(plan.Distance) + s.cfg.SensingTime*float64(plan.Len())
+		idle[ui] -= spent
+		if idle[ui] < 0 {
+			idle[ui] = 0
+		}
+	}
+	return nil
+}
+
+// speculate solves every user's round-k selection problem concurrently
+// against the round-start snapshot, filling s.spec by perm position. The
+// board, the open slice, the reward map, and the shared round context are
+// all read-only during this phase, so the only mutable state a worker
+// touches is its own pooled solver and its positions' speculation slots.
+func (s *Simulation) speculate(k int, perm []int, open []*task.State, rewards map[task.ID]float64) {
+	n := len(perm)
+	if len(s.spec) < n {
+		s.spec = append(s.spec, make([]speculation, n-len(s.spec))...)
+	}
+	spec := s.spec[:n]
+	workers := s.cfg.RoundParallelism
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			alg := s.pool.Get()
+			defer s.pool.Put(alg)
+			for {
+				pos := int(next.Add(1))
+				if pos >= n {
+					return
+				}
+				sp := &spec[pos]
+				u := s.users[perm[pos]]
+				sp.problem, sp.cand = s.problemForInto(u, k, open, rewards, sp.cand)
+				sp.plan, sp.err = alg.Select(sp.problem)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// invalidated reports whether any task filled by an earlier commit of this
+// round was still selectable by u at the round-start snapshot — in which
+// case u's speculative problem is stale and must be re-solved. The user's
+// own contribution state cannot have changed (each user commits once per
+// round), so checking it now is equivalent to checking it at snapshot
+// time. Tasks a user already contributed to were never its candidates and
+// never invalidate it, which keeps replays rare outside pathological
+// contention.
+func (s *Simulation) invalidated(u *agent.User) bool {
+	for _, id := range s.closedBuf {
+		if !s.board.Get(id).Contributed(u.ID) && !u.HasDone(id) {
+			return true
+		}
+	}
+	return false
 }
 
 // taskViews builds the mechanism's per-task observations, counting each
@@ -412,6 +561,17 @@ func (s *Simulation) taskViews(open []*task.State) ([]incentive.TaskView, error)
 // problem is marked CandidatesValid and solvers skip the per-candidate
 // re-validation.
 func (s *Simulation) problemFor(u *agent.User, k int, open []*task.State, rewards map[task.ID]float64) selection.Problem {
+	p, buf := s.problemForInto(u, k, open, rewards, s.candBuf)
+	s.candBuf = buf
+	return p
+}
+
+// problemForInto is problemFor over a caller-owned candidate buffer,
+// returning the (possibly re-grown) buffer. The speculative engine's
+// workers use it with per-position buffers so every user's problem of a
+// round can be alive at once; the sequential path passes the shared
+// s.candBuf scratch.
+func (s *Simulation) problemForInto(u *agent.User, k int, open []*task.State, rewards map[task.ID]float64, buf []selection.Candidate) (selection.Problem, []selection.Candidate) {
 	p := selection.Problem{
 		Start:           u.Location,
 		MaxDistance:     u.MaxTravelDistance(),
@@ -422,20 +582,20 @@ func (s *Simulation) problemFor(u *agent.User, k int, open []*task.State, reward
 	if !s.cfg.DisableRoundContext {
 		p.Ctx = s.roundCtx
 	}
-	s.candBuf = s.candBuf[:0]
+	buf = buf[:0]
 	for i, st := range open {
 		if !st.OpenAt(k) || st.Contributed(u.ID) || u.HasDone(st.ID) {
 			continue
 		}
-		s.candBuf = append(s.candBuf, selection.Candidate{
+		buf = append(buf, selection.Candidate{
 			ID:       st.ID,
 			Location: st.Location,
 			Reward:   rewards[st.ID],
 			CtxIndex: i,
 		})
 	}
-	p.Candidates = s.candBuf
-	return p
+	p.Candidates = buf
+	return p, buf
 }
 
 // Run is a convenience that builds and runs a simulation in one call.

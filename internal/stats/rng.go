@@ -55,5 +55,25 @@ func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
+// PermInto fills buf with a random permutation of [0, n), reusing buf's
+// storage when it is large enough. It consumes exactly the same draws from
+// the generator as Perm — the inside-out Fisher-Yates of math/rand, one
+// Intn(i+1) per i in [0, n), including the i = 0 iteration whose Intn(1)
+// burns a draw exactly like the standard library's loop does — so
+// switching a caller from Perm to PermInto leaves every subsequent draw of
+// the stream, and therefore every seeded result, unchanged.
+func (g *RNG) PermInto(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := 0; i < n; i++ {
+		j := g.r.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return buf
+}
+
 // Shuffle randomizes the order of n elements using the provided swap.
 func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

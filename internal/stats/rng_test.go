@@ -108,6 +108,46 @@ func TestPermIsPermutation(t *testing.T) {
 	}
 }
 
+func TestPermIntoMatchesPerm(t *testing.T) {
+	// PermInto must consume exactly the same draws as Perm: two generators
+	// with the same seed, one calling Perm and one PermInto, must stay in
+	// lockstep over many interleaved calls (the simulation relies on this
+	// to keep seeded regression constants unchanged).
+	a := NewRNG(11)
+	b := NewRNG(11)
+	var buf []int
+	for call := 0; call < 50; call++ {
+		n := call % 17 // exercise n = 0 and 1 too
+		want := a.Perm(n)
+		buf = b.PermInto(buf, n)
+		if len(buf) != len(want) {
+			t.Fatalf("call %d: len = %d, want %d", call, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("call %d: PermInto = %v, Perm = %v", call, buf, want)
+			}
+		}
+	}
+	// The streams must still agree after the permutation calls.
+	if a.Float64() != b.Float64() {
+		t.Error("Perm and PermInto consumed different numbers of draws")
+	}
+}
+
+func TestPermIntoReusesBuffer(t *testing.T) {
+	g := NewRNG(5)
+	buf := make([]int, 0, 32)
+	out := g.PermInto(buf, 10)
+	if &out[:cap(out)][0] != &buf[:cap(buf)][0] {
+		t.Error("PermInto reallocated despite sufficient capacity")
+	}
+	out2 := g.PermInto(out, 32)
+	if len(out2) != 32 {
+		t.Fatalf("len = %d, want 32", len(out2))
+	}
+}
+
 func TestShuffle(t *testing.T) {
 	g := NewRNG(3)
 	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}

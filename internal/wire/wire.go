@@ -19,7 +19,41 @@ const (
 	PathHealth     = "/v1/healthz"
 	PathEstimate   = "/v1/estimate"
 	PathReputation = "/v1/reputation"
+	PathPlan       = "/v1/plan"
 )
+
+// PlanRequest asks the platform to solve a worker's task selection problem
+// (POST /v1/plan): thin clients without a local solver send their position
+// and budget and receive a profit-maximizing visiting order over the
+// current round's published tasks.
+type PlanRequest struct {
+	UserID int `json:"user_id"`
+	// Location is the worker's current position (also refreshes the
+	// platform's worker registry, like an upload does).
+	Location geo.Point `json:"location"`
+	// Speed is the travel speed in m/s.
+	Speed float64 `json:"speed"`
+	// TimeBudget is the remaining time budget for this round in seconds.
+	TimeBudget float64 `json:"time_budget"`
+	// CostPerMeter is the worker's movement cost in $/m.
+	CostPerMeter float64 `json:"cost_per_meter"`
+}
+
+// PlanResponse is the solved plan. An empty Order means no
+// positive-profit plan exists for the request's budget.
+type PlanResponse struct {
+	// Round is the round the plan was solved against; submit with this
+	// round or re-plan after an advance.
+	Round int `json:"round"`
+	// Order is the recommended task visiting order.
+	Order []task.ID `json:"order"`
+	// Distance, Reward, Cost, Profit are the plan's accounting at the
+	// round's published rewards.
+	Distance float64 `json:"distance"`
+	Reward   float64 `json:"reward"`
+	Cost     float64 `json:"cost"`
+	Profit   float64 `json:"profit"`
+}
 
 // RegisterRequest announces a worker and its starting location.
 type RegisterRequest struct {
