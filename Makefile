@@ -1,0 +1,61 @@
+# Developer entry points. `make lint` runs the exact sequence the CI
+# lint job runs; `make ci` reproduces the whole pipeline locally.
+
+# Pinned external linter versions — keep in lockstep with
+# .github/workflows/ci.yml.
+STATICCHECK_VERSION := 2025.1.1
+GOVULNCHECK_VERSION := v1.1.4
+
+.PHONY: all build test race lint fmt-check vet paylint staticcheck govulncheck fuzz-smoke bench-smoke ci
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/experiments/ ./internal/sim/ ./internal/selection/ ./internal/server/
+
+# The full static-analysis gate: formatting, go vet, the repo's own
+# paylint suite (determinism + aliasing invariants), staticcheck, and
+# govulncheck — one command, matching CI exactly.
+lint: fmt-check vet paylint staticcheck govulncheck
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+paylint:
+	go run ./cmd/paylint ./...
+
+# staticcheck and govulncheck are external tools; install the pinned
+# versions once with `make lint-tools` (needs network access).
+staticcheck:
+	@command -v staticcheck >/dev/null || { \
+		echo "staticcheck not installed; run: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)" >&2; exit 1; }
+	staticcheck ./...
+
+govulncheck:
+	@command -v govulncheck >/dev/null || { \
+		echo "govulncheck not installed; run: go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)" >&2; exit 1; }
+	govulncheck ./...
+
+.PHONY: lint-tools
+lint-tools:
+	go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+fuzz-smoke:
+	go test -run FuzzSolverEquivalence -fuzz FuzzSolverEquivalence -fuzztime 30s ./internal/selection/
+
+bench-smoke:
+	go test -run xxx -bench . -benchtime 1x -benchmem ./internal/selection/ ./internal/sim/ ./internal/experiments/
+
+ci: lint build test race fuzz-smoke bench-smoke

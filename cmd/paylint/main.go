@@ -1,0 +1,92 @@
+// Command paylint runs the repo's static-analysis suite: the custom
+// analyzers that enforce the determinism and aliasing invariants every
+// performance PR rests on (byte-identical simulation output for a given
+// seed at any worker count).
+//
+// Usage:
+//
+//	go run ./cmd/paylint ./...
+//	go run ./cmd/paylint -list
+//	go run ./cmd/paylint -only mapiter,detrand ./internal/sim/
+//
+// Findings are printed one per line as path:line:col: message (analyzer)
+// and the exit status is 1 when any finding is reported, so the command
+// gates CI directly. See DESIGN.md section 11 for the invariants and the
+// //paylint:sorted / //paylint:aliases suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paydemand/internal/analysis"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: paylint [-list] [-only names] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*onlyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paylint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paylint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paylint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "paylint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the full suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	"paydemand/internal/analysis"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(analysis.All()) {
+		t.Fatalf("empty -only selected %d analyzers, want all %d", len(all), len(analysis.All()))
+	}
+
+	got, err := selectAnalyzers("mapiter, detrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "mapiter" || got[1].Name != "detrand" {
+		t.Fatalf("selectAnalyzers(\"mapiter, detrand\") = %v", names(got))
+	}
+
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("selectAnalyzers(\"nosuch\") did not fail")
+	}
+}
+
+func names(as []*analysis.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// TestRepoRunsClean is the lint gate as a test: the full suite must
+// produce zero findings on the repository itself. CI also runs
+// `go run ./cmd/paylint ./...` directly, but keeping the assertion in
+// `go test ./...` means a finding cannot hide behind a forgotten CI
+// step.
+func TestRepoRunsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo analysis in -short mode")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; expected the whole repo", len(pkgs))
+	}
+	findings, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

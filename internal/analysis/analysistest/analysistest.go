@@ -1,0 +1,108 @@
+// Package analysistest runs paylint analyzers against fixture packages
+// under testdata/src and checks their diagnostics against expectations
+// written in the fixtures, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a comment containing `want` followed by one or more
+// quoted regular expressions:
+//
+//	for _, v := range m { // want `range over map m`
+//
+// Every diagnostic must be matched by a want on its line, and every want
+// must match at least one diagnostic on its line. When the diagnostic is
+// itself attached to a line comment (a //paylint: directive), the
+// expectation uses a block comment on the same line:
+//
+//	/* want "needs a reason" */ //paylint:sorted
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"paydemand/internal/analysis"
+)
+
+// wantRe extracts the quoted regexps of a want comment. Both double
+// quotes and backquotes are accepted.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// markerRe recognizes a want comment.
+var markerRe = regexp.MustCompile(`(?://|/\*)\s*want\s`)
+
+// expectation is one want pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory (relative to the test's testdata/src
+// dir) as a package with import path pkgPath, applies the analyzer, and
+// reports mismatches between its diagnostics and the fixture's want
+// comments on t.
+func Run(t *testing.T, a *analysis.Analyzer, fixture, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	// The module root is two levels up from internal/analysis.
+	pkg, err := analysis.LoadFixture(filepath.Join("..", ".."), dir, pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixture, err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, fixture, err)
+	}
+
+	expects := collectExpectations(t, pkg)
+
+	for _, f := range findings {
+		matched := false
+		for i := range expects {
+			e := &expects[i]
+			if e.file == f.Position.Filename && e.line == f.Position.Line && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectExpectations parses the want comments of every fixture file.
+func collectExpectations(t *testing.T, pkg *analysis.Package) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				loc := markerRe.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[loc[1]:], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+
+	"paydemand/internal/analysis"
+)
+
+// loadFixturePass builds a Pass over a fixture so the directive helper
+// can be probed directly, independent of any analyzer.
+func loadFixturePass(t *testing.T, fixture, pkgPath string) *analysis.Pass {
+	t.Helper()
+	pkg, err := analysis.LoadFixture(filepath.Join("..", ".."), filepath.Join("testdata", "src", fixture), pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+}
+
+// rangeStmtIn returns the first range statement inside the named
+// function of the pass.
+func rangeStmtIn(t *testing.T, pass *analysis.Pass, funcName string) *ast.RangeStmt {
+	t.Helper()
+	var found *ast.RangeStmt
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != funcName {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if rng, ok := n.(*ast.RangeStmt); ok && found == nil {
+					found = rng
+				}
+				return true
+			})
+		}
+	}
+	if found == nil {
+		t.Fatalf("no range statement in function %s", funcName)
+	}
+	return found
+}
+
+// TestDirectiveAttachment pins the attachment rule the analyzers share:
+// a directive suppresses the construct on its own line or the line
+// below, and nothing else.
+func TestDirectiveAttachment(t *testing.T) {
+	pass := loadFixturePass(t, "mapiter", "paydemand/internal/sim")
+
+	// Preceding-line form.
+	if !pass.Suppressed(rangeStmtIn(t, pass, "maxKey"), "sorted") {
+		t.Error("maxKey: reasoned directive on the preceding line did not suppress")
+	}
+	// Trailing same-line form.
+	if !pass.Suppressed(rangeStmtIn(t, pass, "trailingDirective"), "sorted") {
+		t.Error("trailingDirective: reasoned directive on the statement line did not suppress")
+	}
+	// A directive never suppresses a different verb.
+	if pass.Suppressed(rangeStmtIn(t, pass, "maxKey"), "aliases") {
+		t.Error("maxKey: sorted directive suppressed the aliases verb")
+	}
+	// No directive at all.
+	if d, ok := pass.DirectiveFor(rangeStmtIn(t, pass, "sum"), "sorted"); ok {
+		t.Errorf("sum: found phantom directive %+v", d)
+	}
+}
+
+// TestDirectiveMissingArgument pins the strictness contract: an
+// argument-less directive is found but does not suppress, so the target
+// finding stays reported AND the directive analyzer reports the
+// malformed directive itself.
+func TestDirectiveMissingArgument(t *testing.T) {
+	pass := loadFixturePass(t, "mapiter", "paydemand/internal/sim")
+	rng := rangeStmtIn(t, pass, "bareDirective")
+
+	d, ok := pass.DirectiveFor(rng, "sorted")
+	if !ok {
+		t.Fatal("bareDirective: directive not found at all")
+	}
+	if d.Args != "" {
+		t.Fatalf("bareDirective: unexpected args %q", d.Args)
+	}
+	if pass.Suppressed(rng, "sorted") {
+		t.Error("bareDirective: reason-less directive suppressed the finding")
+	}
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, and type-checked package, ready for
+// analysis. It mirrors golang.org/x/tools/go/packages.Package.
+type Package struct {
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset is the file set all Files positions refer to.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo records types and objects for every expression in Files.
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load parses and type-checks the packages matching the go list patterns
+// (for example "./..."), resolved relative to dir, together with their
+// full dependency closure. Only the directly matched packages are
+// returned; dependencies — including the standard library, which is
+// type-checked from source so no compiled export data or network access
+// is needed — are loaded with function bodies ignored, which is enough to
+// type-check their exported API.
+//
+// Test files are deliberately excluded: paylint guards the invariants of
+// production code; tests assert those invariants rather than carry them.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:  fset,
+		types: map[string]*types.Package{"unsafe": types.Unsafe},
+		sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+
+	var out []*Package
+	// go list -deps emits dependencies before dependents, so a single
+	// in-order sweep sees every import already checked.
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := ld.check(lp, lp.DepOnly)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.DepOnly {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadFixture parses and type-checks the Go files of a single fixture
+// directory as a package with the given import path, resolving the
+// fixture's imports (standard library or this module's packages) through
+// go list from modDir. The analysistest harness uses it to run analyzers
+// against testdata packages that may masquerade as any package path —
+// for example a fixture checked as "paydemand/internal/sim" exercises
+// the deterministic-package scoping of mapiter and detrand.
+func LoadFixture(modDir, fixtureDir, pkgPath string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(fixtureDir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", fixtureDir)
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:  fset,
+		types: map[string]*types.Package{"unsafe": types.Unsafe},
+		sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	files := make([]*ast.File, 0, len(names))
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p := importPath(imp); p != "unsafe" && p != "" {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(importSet) > 0 {
+		patterns := make([]string, 0, len(importSet))
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(modDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.ImportPath == "unsafe" || len(lp.GoFiles) == 0 {
+				continue
+			}
+			if lp.Error != nil {
+				return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			if _, err := ld.check(lp, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ld.checkFiles(pkgPath, fixtureDir, files, nil, false)
+}
+
+// goList runs `go list -e -deps -json` and decodes the package stream.
+// CGO is disabled so every listed package has a pure-Go file set that
+// go/types can check from source.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(outPipe)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return listed, nil
+}
+
+// loader accumulates type-checked packages so each is checked once.
+type loader struct {
+	fset  *token.FileSet
+	types map[string]*types.Package
+	sizes types.Sizes
+}
+
+// check parses and type-checks one listed package.
+func (ld *loader) check(lp listedPackage, ignoreBodies bool) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	return ld.checkFiles(lp.ImportPath, lp.Dir, files, lp.ImportMap, ignoreBodies)
+}
+
+// checkFiles type-checks already-parsed files as one package.
+func (ld *loader) checkFiles(pkgPath, dir string, files []*ast.File, importMap map[string]string, ignoreBodies bool) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: &mapImporter{loader: ld, importMap: importMap},
+		Sizes:    ld.sizes,
+		// Dependency packages only contribute their exported API;
+		// skipping their function bodies keeps a whole-stdlib source
+		// type-check fast.
+		IgnoreFuncBodies: ignoreBodies,
+		FakeImportC:      true,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(pkgPath, ld.fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("type-check %s: %w", pkgPath, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", pkgPath, err)
+	}
+	ld.types[pkgPath] = tpkg
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// mapImporter resolves imports against the loader's already-checked
+// packages, applying the importing package's vendor import map first.
+type mapImporter struct {
+	loader    *loader
+	importMap map[string]string
+}
+
+var _ types.Importer = (*mapImporter)(nil)
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := m.loader.types[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("import %q not in dependency closure", path)
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPackages are the packages whose output feeds the
+// byte-identity guarantee: given a seed, a simulation (and the experiment
+// harness and HTTP platform built on it) must produce identical bytes at
+// any worker count. mapiter and detrand apply only here.
+var DeterministicPackages = []string{
+	"paydemand/internal/sim",
+	"paydemand/internal/selection",
+	"paydemand/internal/experiments",
+	"paydemand/internal/metrics",
+	"paydemand/internal/server",
+}
+
+// isDeterministicPackage reports whether the pass's package is subject to
+// the determinism analyzers.
+func isDeterministicPackage(path string) bool {
+	for _, p := range DeterministicPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Mapiter flags `for range` over a map in the deterministic packages.
+// Map iteration order is randomized by the Go runtime, so any map loop
+// whose effect depends on order — summing floats, emitting output,
+// picking "the first" anything — silently breaks seed-reproducibility.
+//
+// A loop is accepted when:
+//   - the loop body only accumulates keys/values into slices via append,
+//     and at least one of those slices is passed to sort.* or slices.Sort*
+//     later in the same function (the canonical sorted-keys pattern); or
+//   - the statement carries `//paylint:sorted <reason>` explaining why
+//     order is immaterial (for example an order-independent reduction
+//     like max, or a map-to-map copy).
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag unsorted map iteration in the deterministic packages " +
+		"(suppress with //paylint:sorted <reason>)",
+	Run: runMapiter,
+}
+
+func runMapiter(pass *Pass) error {
+	if !isDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFuncMapRanges(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncMapRanges reports unsorted map ranges inside one function
+// body. It walks the body once collecting range statements, then vets
+// each against the sorted-keys pattern and directives.
+func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Function literals are walked as part of the same body; the
+			// sorted-keys pattern is still scoped to statements after the
+			// loop in position order, which is what sortedAfter checks.
+			return true
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Suppressed(rng, "sorted") {
+			return true
+		}
+		if sortedAccumulatorLoop(pass, body, rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over map %s: iteration order is nondeterministic; "+
+			"sort the keys before use or annotate with //paylint:sorted <reason>",
+			types.ExprString(rng.X))
+		return true
+	})
+}
+
+// sortedAccumulatorLoop recognizes the canonical sorted-keys pattern:
+//
+//	for k := range m { ks = append(ks, k) }
+//	sort.Strings(ks) // or sort.Ints, sort.Slice, slices.Sort*, ...
+//
+// The loop body may only contain appends into local slices, and at least
+// one of those slices must flow into a recognized sort call after the
+// loop in the enclosing function body.
+func sortedAccumulatorLoop(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	// Collect the variables the body appends into; bail on any other
+	// statement shape.
+	var targets []types.Object
+	for _, st := range rng.Body.List {
+		assign, ok := st.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call.Fun) {
+			return false
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		targets = append(targets, obj)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	// Look for a sort call on one of the targets after the loop.
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rng.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if !isSortCall(pass, call.Fun) {
+			return true
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(arg)
+		for _, t := range targets {
+			if obj == t {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltinAppend reports whether fun denotes the append builtin.
+func isBuiltinAppend(pass *Pass, fun ast.Expr) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isSortCall reports whether fun denotes a sorting function from the
+// sort or slices standard-library packages.
+func isSortCall(pass *Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg := packageOf(pass, sel.X)
+	switch pkg {
+	case "sort":
+		// Every sort.* entry point whose first argument is the data.
+		switch sel.Sel.Name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}
+
+// packageOf returns the import path of the package an identifier refers
+// to, or "" if the expression is not a package qualifier.
+func packageOf(pass *Pass, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

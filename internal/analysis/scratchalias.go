@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ScratchAlias guards the buffer-reuse contracts introduced by the
+// zero-allocation solver work (PR 2): solvers and the simulator keep
+// grow-only scratch buffers on their receivers and recycle them every
+// call (`s.buf = s.buf[:0]`). Returning such a buffer from an exported
+// function hands the caller memory that the next call will overwrite —
+// the Observer/Mechanism and agent.LocationsInto contracts make that
+// aliasing explicit; anything else is a latent use-after-recycle bug.
+//
+// A field counts as scratch when the package reslices it in place
+// somewhere (`x.f = x.f[:n]` or `x.f = x.f[0:n]`), the truncate-and-
+// refill signature of buffer reuse. An exported function or method that
+// returns such a field (directly, through a reslice, or via a simple
+// local alias) is flagged unless:
+//   - its name ends in "Into", the repo's naming convention for
+//     caller-visible buffer reuse; or
+//   - it carries `//paylint:aliases <field>` naming the scratch field,
+//     which documents the contract at the declaration site.
+var ScratchAlias = &Analyzer{
+	Name: "scratchalias",
+	Doc: "flag exported functions returning receiver scratch buffers " +
+		"(name them ...Into or annotate //paylint:aliases <field>)",
+	Run: runScratchAlias,
+}
+
+func runScratchAlias(pass *Pass) error {
+	scratch := collectScratchFields(pass)
+	if len(scratch) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Into") {
+				continue
+			}
+			checkScratchReturns(pass, fn, scratch)
+		}
+	}
+	return nil
+}
+
+// collectScratchFields finds every struct field the package reslices in
+// place, the signature of a reusable scratch buffer.
+func collectScratchFields(pass *Pass) map[*types.Var]bool {
+	scratch := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				if i >= len(assign.Rhs) {
+					break
+				}
+				fv := fieldVar(pass, lhs)
+				if fv == nil {
+					continue
+				}
+				// x.f = x.f[...] — reslicing the same field in place.
+				sl, ok := assign.Rhs[i].(*ast.SliceExpr)
+				if !ok {
+					continue
+				}
+				if fieldVar(pass, sl.X) == fv {
+					scratch[fv] = true
+				}
+			}
+			return true
+		})
+	}
+	return scratch
+}
+
+// fieldVar returns the struct field a selector expression denotes, or
+// nil if expr is not a field selector.
+func fieldVar(pass *Pass, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// checkScratchReturns reports returns of scratch fields from one
+// exported function.
+func checkScratchReturns(pass *Pass, fn *ast.FuncDecl, scratch map[*types.Var]bool) {
+	// One level of local aliasing: `buf := x.f` (or `buf = x.f[:n]`)
+	// followed by `return buf`.
+	aliases := map[types.Object]*types.Var{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			if i >= len(assign.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if fv := scratchValue(pass, assign.Rhs[i], scratch, aliases); fv != nil {
+				aliases[pass.TypesInfo.ObjectOf(id)] = fv
+			}
+		}
+		return true
+	})
+
+	walkSameFunc(fn.Body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		for _, res := range ret.Results {
+			fv := scratchValue(pass, res, scratch, aliases)
+			if fv == nil {
+				continue
+			}
+			if d, ok := pass.DirectiveFor(fn, "aliases"); ok && directiveNamesField(d.Args, fv.Name()) {
+				continue
+			}
+			pass.Reportf(ret.Pos(), "exported %s returns scratch buffer %s, which the next call overwrites; "+
+				"rename to %sInto, return a copy, or annotate the declaration with //paylint:aliases %s",
+				fn.Name.Name, fv.Name(), fn.Name.Name, fv.Name())
+		}
+	})
+}
+
+// scratchValue resolves an expression to the scratch field it aliases,
+// looking through parentheses, reslicing, and one level of local alias.
+func scratchValue(pass *Pass, expr ast.Expr, scratch map[*types.Var]bool, aliases map[types.Object]*types.Var) *types.Var {
+	expr = ast.Unparen(expr)
+	if sl, ok := expr.(*ast.SliceExpr); ok {
+		expr = ast.Unparen(sl.X)
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return aliases[pass.TypesInfo.ObjectOf(id)]
+	}
+	if fv := fieldVar(pass, expr); fv != nil && scratch[fv] {
+		return fv
+	}
+	return nil
+}
+
+// directiveNamesField reports whether a //paylint:aliases argument names
+// the given field (as one of its whitespace-separated words).
+func directiveNamesField(args, field string) bool {
+	for _, w := range strings.Fields(args) {
+		if w == field {
+			return true
+		}
+	}
+	return false
+}
+
+// walkSameFunc visits the nodes of body without descending into nested
+// function literals, whose returns belong to the literal, not the
+// enclosing function.
+func walkSameFunc(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"paydemand/internal/analysis"
+	"paydemand/internal/analysis/analysistest"
+)
+
+// Each analyzer is exercised against a fixture that demonstrates both
+// reported violations and accepted counterparts (sorted keys, Into
+// naming, directives, explicit tags). The _outofscope fixtures prove the
+// deterministic-package scoping by re-checking the same constructs under
+// a package path the analyzers do not apply to.
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, analysis.Mapiter, "mapiter", "paydemand/internal/sim")
+}
+
+func TestMapiterOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysis.Mapiter, "mapiter_outofscope", "paydemand/internal/geo")
+}
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysis.Detrand, "detrand", "paydemand/internal/sim")
+}
+
+func TestDetrandOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysis.Detrand, "detrand_outofscope", "paydemand/internal/geo")
+}
+
+func TestScratchAlias(t *testing.T) {
+	analysistest.Run(t, analysis.ScratchAlias, "scratchalias", "paydemand/internal/selection")
+}
+
+func TestWireJSONStrict(t *testing.T) {
+	analysistest.Run(t, analysis.WireJSON, "wirejson", "paydemand/internal/wire")
+}
+
+func TestWireJSONOptIn(t *testing.T) {
+	analysistest.Run(t, analysis.WireJSON, "wirejson_optin", "paydemand/internal/metrics")
+}
+
+func TestDirective(t *testing.T) {
+	analysistest.Run(t, analysis.Directive, "directive", "paydemand/internal/selection")
+}
+
+// TestSuiteNames pins the suite composition: CI documentation and the
+// -only flag both refer to analyzers by these names.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"mapiter", "detrand", "scratchalias", "wirejson", "directive"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Fixture for the detrand analyzer, type-checked as the deterministic
+// package paydemand/internal/sim.
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"time"
+
+	"paydemand/internal/stats"
+)
+
+// draw is the sanctioned pattern: all randomness flows through the
+// seeded stats.RNG.
+func draw(rng *stats.RNG) float64 {
+	return rng.Float64() // accepted
+}
+
+// globalDraw uses the package-global source the import finding covers.
+func globalDraw() float64 {
+	return rand.Float64()
+}
+
+// seed is the classic wall-clock seeding violation.
+func seed() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+// double uses time's types without the wall clock, which is fine.
+func double(d time.Duration) time.Duration {
+	return 2 * d // accepted: time types are fine, only time.Now is banned
+}

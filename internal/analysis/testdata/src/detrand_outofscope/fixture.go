@@ -1,0 +1,17 @@
+// Fixture proving detrand scoping: outside the deterministic packages,
+// wall-clock and math/rand use is allowed (type-checked as
+// paydemand/internal/geo).
+package geo
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Second)))
+}
+
+func now() time.Time {
+	return time.Now() // accepted: not a deterministic package
+}

@@ -1,0 +1,90 @@
+// Fixture for the mapiter analyzer, type-checked as the deterministic
+// package paydemand/internal/sim.
+package sim
+
+import (
+	"sort"
+
+	"slices"
+)
+
+// sum is the classic violation: a float sum in map order is a different
+// float per run.
+func sum(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m { // want `range over map m: iteration order is nondeterministic`
+		t += v
+	}
+	return t
+}
+
+// sortedKeys is the canonical accepted pattern: the loop only gathers
+// keys, which are sorted before use.
+func sortedKeys(m map[int]float64) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m { // accepted: sorted before use
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// sortedKeysSlices is the same pattern through the slices package.
+func sortedKeysSlices(m map[string]int) []string {
+	var ks []string
+	for k := range m { // accepted: sorted before use
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+// maxKey reduces order-independently, which a directive records.
+func maxKey(m map[int]float64) int {
+	best := 0
+	//paylint:sorted max over keys is order-independent
+	for k := range m { // accepted: directive with reason
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// gatherWithoutSort gathers keys but never sorts them, so the slice
+// order leaks map order downstream.
+func gatherWithoutSort(m map[int]float64) []int {
+	var ks []int
+	for k := range m { // want `range over map m`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// bareDirective has no reason, so it suppresses nothing.
+func bareDirective(m map[int]int) int {
+	n := 0
+	//paylint:sorted
+	for range m { // want `range over map m`
+		n++
+	}
+	return n
+}
+
+// sliceRange is not a map iteration at all.
+func sliceRange(xs []int) int {
+	n := 0
+	for range xs { // accepted: slices iterate in index order
+		n++
+	}
+	return n
+}
+
+// trailingDirective shows the same-line attachment form.
+func trailingDirective(m map[int]bool) int {
+	n := 0
+	for range m { //paylint:sorted len-style count is order-independent
+		n++
+	}
+	return n
+}

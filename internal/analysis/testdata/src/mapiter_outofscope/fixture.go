@@ -1,0 +1,12 @@
+// Fixture proving mapiter scoping: the same map iteration that is
+// flagged inside the deterministic packages is accepted elsewhere (this
+// fixture is type-checked as paydemand/internal/geo).
+package geo
+
+func sum(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m { // accepted: not a deterministic package
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+// Fixture for the scratchalias analyzer. Solver mimics the repo's
+// zero-allocation solvers: buf is recycled with s.buf = s.buf[:0] every
+// call, so returning it hands out memory the next call overwrites.
+package scratchalias
+
+// Solver has one scratch buffer (buf, truncated in place by reset) and
+// one plain state slice (state, never truncated).
+type Solver struct {
+	buf   []int
+	state []int
+}
+
+func (s *Solver) reset() {
+	s.buf = s.buf[:0]
+}
+
+// Order leaks the scratch buffer directly.
+func (s *Solver) Order() []int {
+	return s.buf // want `exported Order returns scratch buffer buf`
+}
+
+// Tail leaks it through a reslice, which aliases the same array.
+func (s *Solver) Tail() []int {
+	return s.buf[1:] // want `exported Tail returns scratch buffer buf`
+}
+
+// Aliased leaks it through a local variable.
+func (s *Solver) Aliased() []int {
+	out := s.buf
+	return out // want `exported Aliased returns scratch buffer buf`
+}
+
+// OrderInto is accepted: the Into suffix is the repo's naming convention
+// for caller-visible buffer reuse.
+func (s *Solver) OrderInto() []int {
+	return s.buf // accepted: Into-named
+}
+
+// Peek is accepted: the directive documents the aliasing contract at the
+// declaration site.
+//
+//paylint:aliases buf
+func (s *Solver) Peek() []int {
+	return s.buf // accepted: directive names the field
+}
+
+// WrongField names a different field, so the directive does not cover
+// the leak.
+//
+//paylint:aliases state
+func (s *Solver) WrongField() []int {
+	return s.buf // want `exported WrongField returns scratch buffer buf`
+}
+
+// State is accepted: state is never truncated in place, so it is not a
+// scratch buffer.
+func (s *Solver) State() []int {
+	return s.state // accepted: not scratch
+}
+
+// Copied is accepted: it returns fresh memory.
+func (s *Solver) Copied() []int {
+	out := make([]int, len(s.buf))
+	copy(out, s.buf)
+	return out // accepted: copy
+}
+
+// unexportedLeak is accepted: the contract only binds the exported API.
+func (s *Solver) unexportedLeak() []int {
+	return s.buf // accepted: unexported
+}
+
+// Closure is accepted: the literal's return belongs to the literal, and
+// the function itself returns an int.
+func (s *Solver) Closure() int {
+	f := func() []int { return s.buf }
+	return len(f())
+}

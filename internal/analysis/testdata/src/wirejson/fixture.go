@@ -1,0 +1,37 @@
+// Fixture for the wirejson analyzer in strict mode, type-checked as
+// paydemand/internal/wire: every struct is a protocol message, so every
+// exported field must carry an explicit json tag.
+package wire
+
+// Tagged is fully specified.
+type Tagged struct {
+	ID     int    `json:"id"`
+	Name   string `json:"name"`
+	hidden int    // accepted: unexported fields are not serialized
+}
+
+// Untagged misses a tag even though the struct has no other tags —
+// strict mode holds every wire struct to the rule.
+type Untagged struct {
+	ID int // want `exported field Untagged.ID has no json tag`
+}
+
+// Partial grew an untagged field after being tagged.
+type Partial struct {
+	Value float64 `json:"value"`
+	Added int     // want `exported field Partial.Added has no json tag`
+}
+
+// Diagnostic shows the escape hatch: json:"-" keeps a field out of the
+// serialized output explicitly.
+type Diagnostic struct {
+	Value int `json:"value"`
+	Debug int `json:"-"` // accepted: explicit exclusion
+}
+
+// Embedded flattens into the serialized output, so the embedded field
+// pins output shape like a named one.
+type Embedded struct {
+	Tagged     // want `exported field Embedded.Tagged has no json tag`
+	N      int `json:"n"`
+}

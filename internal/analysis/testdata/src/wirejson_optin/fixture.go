@@ -1,0 +1,25 @@
+// Fixture for the wirejson analyzer in opt-in mode, type-checked as the
+// deterministic package paydemand/internal/metrics: only structs that
+// already participate in serialization (at least one json tag) must tag
+// every exported field.
+package metrics
+
+// Options carries no json tags at all: it is configuration, not output,
+// and stays exempt.
+type Options struct {
+	Workers int
+	Verbose bool
+}
+
+// Result opted into serialization, so the untagged addition is flagged.
+type Result struct {
+	Score float64 `json:"score"`
+	Extra int     // want `exported field Result.Extra has no json tag`
+}
+
+// Diag uses the sanctioned escape hatch for execution-strategy
+// diagnostics that must not reach the serialized output.
+type Diag struct {
+	Score   float64 `json:"score"`
+	Replays int     `json:"-"` // accepted: explicit exclusion
+}

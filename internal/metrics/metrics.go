@@ -259,6 +259,7 @@ func (a *Aggregator) Series(metric RoundMetric, maxRound int) RoundSeries {
 // MaxRound returns the largest round index seen across trials.
 func (a *Aggregator) MaxRound() int {
 	maxK := 0
+	//paylint:sorted max over keys is order-independent
 	for k := range a.rounds {
 		if k > maxK {
 			maxK = k

@@ -178,6 +178,7 @@ func (p *Platform) repriceLocked() error {
 		return nil
 	}
 	locs := make([]geo.Point, 0, len(p.workers))
+	//paylint:sorted locs only feed GridIndex.CountWithin, and a count within a radius is order-independent
 	for _, loc := range p.workers {
 		locs = append(locs, loc)
 	}

@@ -48,9 +48,13 @@ func (p *Platform) Snapshot() Snapshot {
 		Board:         p.board.Snapshot(),
 		Contributions: make(map[task.ID][]reputation.Contribution, len(p.contribs)),
 	}
+	// Map-to-map copies are order-independent, and encoding/json sorts map
+	// keys when the snapshot is serialized.
+	//paylint:sorted map-to-map copy; destination is a map, so insertion order is immaterial
 	for id, loc := range p.workers {
 		snap.Workers[id] = loc
 	}
+	//paylint:sorted map-to-map copy; destination is a map, so insertion order is immaterial
 	for id, cs := range p.contribs {
 		snap.Contributions[id] = append([]reputation.Contribution(nil), cs...)
 	}
@@ -87,10 +91,12 @@ func (p *Platform) Restore(snap Snapshot) error {
 	p.done = snap.Done
 	p.nextID = snap.NextWorkerID
 	p.workers = make(map[int]geo.Point, len(snap.Workers))
+	//paylint:sorted map-to-map copy; destination is a map, so insertion order is immaterial
 	for id, loc := range snap.Workers {
 		p.workers[id] = loc
 	}
 	p.contribs = make(map[task.ID][]reputation.Contribution, len(snap.Contributions))
+	//paylint:sorted map-to-map copy; destination is a map, so insertion order is immaterial
 	for id, cs := range snap.Contributions {
 		p.contribs[id] = append([]reputation.Contribution(nil), cs...)
 	}

@@ -288,10 +288,15 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 		// A mechanism may legally return no rewards for open tasks (for
 		// example when its budget is exhausted); the mean must then be zero,
 		// not 0/0 = NaN, which would poison every aggregate built on it.
+		// Sum in the board's task order, not map order: float addition is
+		// not associative, so a map-ordered sum would make
+		// MeanPublishedReward differ between runs of the same seed.
 		if len(rewards) > 0 {
 			total := 0.0
-			for _, r := range rewards {
-				total += r
+			for _, st := range open {
+				if r, ok := rewards[st.ID]; ok {
+					total += r
+				}
 			}
 			rs.MeanPublishedReward = total / float64(len(rewards))
 		}
@@ -299,10 +304,11 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 		// of once per user selection call: reward sanity below, task
 		// locations inside the round-context build (or the explicit loop on
 		// the uncached path). problemFor then marks its problems
-		// CandidatesValid.
-		for id, r := range rewards {
-			if math.IsNaN(r) {
-				return rs, fmt.Errorf("mechanism %s: NaN reward for task %d", s.mech.Name(), id)
+		// CandidatesValid. Scanning in board order keeps the reported task
+		// deterministic when several rewards are NaN.
+		for _, st := range open {
+			if r, ok := rewards[st.ID]; ok && math.IsNaN(r) {
+				return rs, fmt.Errorf("mechanism %s: NaN reward for task %d", s.mech.Name(), st.ID)
 			}
 		}
 		if s.cfg.DisableRoundContext {
