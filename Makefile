@@ -6,7 +6,7 @@
 STATICCHECK_VERSION := 2025.1.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test race lint fmt-check vet paylint staticcheck govulncheck fuzz-smoke bench-smoke ci
+.PHONY: all build test race cover lint fmt-check vet paylint staticcheck govulncheck fuzz-smoke bench-smoke ci
 
 all: build test
 
@@ -17,7 +17,12 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/experiments/ ./internal/sim/ ./internal/selection/ ./internal/server/
+	go test -race ./internal/experiments/ ./internal/sim/ ./internal/selection/ ./internal/server/ ./internal/engine/
+
+# Aggregate coverage across every package, with a function summary.
+cover:
+	go test -coverprofile=coverage.out -covermode=atomic ./...
+	go tool cover -func=coverage.out | tail -n 1
 
 # The full static-analysis gate: formatting, go vet, the repo's own
 # paylint suite (determinism + aliasing invariants), staticcheck, and
@@ -56,6 +61,6 @@ fuzz-smoke:
 	go test -run FuzzSolverEquivalence -fuzz FuzzSolverEquivalence -fuzztime 30s ./internal/selection/
 
 bench-smoke:
-	go test -run xxx -bench . -benchtime 1x -benchmem ./internal/selection/ ./internal/sim/ ./internal/experiments/
+	go test -run xxx -bench . -benchtime 1x -benchmem ./internal/selection/ ./internal/sim/ ./internal/experiments/ ./internal/engine/
 
 ci: lint build test race fuzz-smoke bench-smoke

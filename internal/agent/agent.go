@@ -72,6 +72,10 @@ func (u *User) Validate() error {
 	return nil
 }
 
+// ActorID returns the user's ID; it satisfies the round engine's Actor
+// interface (engine.Actor) without the engine knowing about agents.
+func (u *User) ActorID() int { return u.ID }
+
 // MaxTravelDistance returns the farthest total distance the user can walk
 // in one round: Speed * TimeBudget. The paper's time-budget constraint
 // Gamma(T) <= B is equivalent to a distance constraint at constant speed.

@@ -6,30 +6,8 @@ import (
 	"strings"
 )
 
-// DeterministicPackages are the packages whose output feeds the
-// byte-identity guarantee: given a seed, a simulation (and the experiment
-// harness and HTTP platform built on it) must produce identical bytes at
-// any worker count. mapiter and detrand apply only here.
-var DeterministicPackages = []string{
-	"paydemand/internal/sim",
-	"paydemand/internal/selection",
-	"paydemand/internal/experiments",
-	"paydemand/internal/metrics",
-	"paydemand/internal/server",
-}
-
-// isDeterministicPackage reports whether the pass's package is subject to
-// the determinism analyzers.
-func isDeterministicPackage(path string) bool {
-	for _, p := range DeterministicPackages {
-		if path == p {
-			return true
-		}
-	}
-	return false
-}
-
-// Mapiter flags `for range` over a map in the deterministic packages.
+// Mapiter flags `for range` over a map in the deterministic packages
+// (the shared DeterministicPackages scope in scope.go).
 // Map iteration order is randomized by the Go runtime, so any map loop
 // whose effect depends on order — summing floats, emitting output,
 // picking "the first" anything — silently breaks seed-reproducibility.

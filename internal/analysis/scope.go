@@ -1,0 +1,29 @@
+package analysis
+
+// DeterministicPackages are the packages whose output feeds the
+// byte-identity guarantee: given a seed, a simulation (and the round
+// engine, experiment harness and HTTP platform built on it) must produce
+// identical bytes at any worker count. This is the single scope list all
+// determinism analyzers consume — mapiter, detrand, and scratchalias
+// apply only here, and wirejson treats these packages as its non-strict
+// tier. Grow the list when a new package joins the deterministic core;
+// every analyzer picks the addition up at once.
+var DeterministicPackages = []string{
+	"paydemand/internal/sim",
+	"paydemand/internal/selection",
+	"paydemand/internal/engine",
+	"paydemand/internal/experiments",
+	"paydemand/internal/metrics",
+	"paydemand/internal/server",
+}
+
+// isDeterministicPackage reports whether the pass's package is subject to
+// the determinism analyzers.
+func isDeterministicPackage(path string) bool {
+	for _, p := range DeterministicPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}

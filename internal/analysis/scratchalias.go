@@ -23,6 +23,11 @@ import (
 //     caller-visible buffer reuse; or
 //   - it carries `//paylint:aliases <field>` naming the scratch field,
 //     which documents the contract at the declaration site.
+//
+// Like the other determinism analyzers, ScratchAlias is scoped to the
+// shared DeterministicPackages list (scope.go): that is where the
+// recycled scratch lives, and where an undocumented alias breaks the
+// byte-identity guarantee.
 var ScratchAlias = &Analyzer{
 	Name: "scratchalias",
 	Doc: "flag exported functions returning receiver scratch buffers " +
@@ -31,6 +36,9 @@ var ScratchAlias = &Analyzer{
 }
 
 func runScratchAlias(pass *Pass) error {
+	if !isDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
 	scratch := collectScratchFields(pass)
 	if len(scratch) == 0 {
 		return nil

@@ -33,6 +33,10 @@ func TestScratchAlias(t *testing.T) {
 	analysistest.Run(t, analysis.ScratchAlias, "scratchalias", "paydemand/internal/selection")
 }
 
+func TestScratchAliasOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysis.ScratchAlias, "scratchalias_outofscope", "paydemand/internal/geo")
+}
+
 func TestWireJSONStrict(t *testing.T) {
 	analysistest.Run(t, analysis.WireJSON, "wirejson", "paydemand/internal/wire")
 }

@@ -1,0 +1,18 @@
+// Fixture proving scratchalias scoping: the same scratch-buffer leak
+// that is flagged inside the deterministic packages is accepted
+// elsewhere (this fixture is type-checked as paydemand/internal/geo).
+package geo
+
+// Solver mirrors the in-scope fixture: buf is recycled in place.
+type Solver struct {
+	buf []int
+}
+
+func (s *Solver) reset() {
+	s.buf = s.buf[:0]
+}
+
+// Order leaks the scratch buffer, but the package is out of scope.
+func (s *Solver) Order() []int {
+	return s.buf // accepted: not a deterministic package
+}

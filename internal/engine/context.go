@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"paydemand/internal/selection"
+)
+
+// A lease is one shared solver context plus the reference count that
+// decides when its storage may be recycled. The published context holds
+// one reference (dropped at the next BeginRound/Reprice/Clear); every
+// HoldContext adds one more. A lease whose count reaches zero returns to
+// the engine's free pool and its next Reset reuses the distance table in
+// place — which is how the steady-state reprice path allocates nothing
+// even though solvers may keep reading a context after it was replaced.
+type lease struct {
+	ctx  selection.RoundContext
+	refs atomic.Int32
+	pool *leasePool
+}
+
+// release drops one reference, recycling the lease once nobody reads it.
+func (l *lease) release() {
+	if l.refs.Add(-1) == 0 {
+		l.pool.put(l)
+	}
+}
+
+// leasePool is the free list of recyclable leases. It has its own lock
+// because ContextHold.Release runs outside whatever lock the driver
+// serializes engine mutations under (that is the point of a hold: the
+// solve happens after the driver's lock is dropped).
+type leasePool struct {
+	mu   sync.Mutex
+	free []*lease
+}
+
+// get pops a free lease (or makes one) and gives it the publication
+// reference.
+func (p *leasePool) get() *lease {
+	p.mu.Lock()
+	var l *lease
+	if n := len(p.free); n > 0 {
+		l = p.free[n-1]
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if l == nil {
+		l = &lease{pool: p}
+	}
+	l.refs.Store(1)
+	return l
+}
+
+// put returns a lease whose references are gone to the free list.
+func (p *leasePool) put(l *lease) {
+	p.mu.Lock()
+	p.free = append(p.free, l)
+	p.mu.Unlock()
+}
+
+// releaseCurrent drops the publication reference of the current context,
+// if any.
+func (e *Engine) releaseCurrent() {
+	if e.cur != nil {
+		e.cur.release()
+		e.cur = nil
+	}
+}
+
+// Context returns the current round's shared solver context, or nil when
+// none is published (context disabled, no open tasks, or not repriced).
+// The context is valid until the next BeginRound/Reprice/Clear; a caller
+// that solves against it beyond that must pin it with HoldContext.
+func (e *Engine) Context() *selection.RoundContext {
+	if e.cur == nil {
+		return nil
+	}
+	return &e.cur.ctx
+}
+
+// ContextHold pins one round's shared context against recycling. The
+// zero value (returned when nothing is published) is a valid no-op hold.
+type ContextHold struct {
+	l *lease
+}
+
+// HoldContext pins the currently published context so it stays readable
+// across subsequent reprices: the HTTP platform snapshots a planning
+// problem under its mutex, then solves outside it, where a concurrent
+// round advance may already be repricing. Call Release when the solve is
+// done; until then the context's storage is not recycled.
+func (e *Engine) HoldContext() ContextHold {
+	if e.cur == nil {
+		return ContextHold{}
+	}
+	e.cur.refs.Add(1)
+	return ContextHold{l: e.cur}
+}
+
+// Release drops the hold. It is safe to call on the zero value and must
+// be called exactly once otherwise.
+func (h ContextHold) Release() {
+	if h.l != nil {
+		h.l.release()
+	}
+}

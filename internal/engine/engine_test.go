@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/incentive"
+	"paydemand/internal/metrics"
+	"paydemand/internal/task"
+)
+
+// stubMechanism prices every view at a fixed reward per task ID offset,
+// reusing one map so steady-state repricing can be measured allocation-
+// free. A nil rewards map makes it price nothing.
+type stubMechanism struct {
+	rewards map[task.ID]float64
+	err     error
+}
+
+func (stubMechanism) Name() string { return "stub" }
+
+func (m stubMechanism) Rewards(int, []incentive.TaskView) (map[task.ID]float64, error) {
+	return m.rewards, m.err
+}
+
+func testBoard(t *testing.T) *task.Board {
+	t.Helper()
+	b, err := task.NewBoard([]task.Task{
+		{ID: 1, Location: geo.Pt(100, 100), Deadline: 3, Required: 1},
+		{ID: 2, Location: geo.Pt(500, 500), Deadline: 5, Required: 2},
+		{ID: 3, Location: geo.Pt(900, 900), Deadline: 2, Required: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func testEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewNilBoard(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil board accepted")
+	}
+}
+
+func TestRoundPipeline(t *testing.T) {
+	board := testBoard(t)
+	mech := stubMechanism{rewards: map[task.ID]float64{1: 10, 2: 20, 3: 30}}
+	e := testEngine(t, Config{
+		Board: board, Mechanism: mech,
+		Area: geo.Square(1000), NeighborRadius: 100,
+	})
+
+	open := e.BeginRound(1)
+	if len(open) != 3 {
+		t.Fatalf("open = %d tasks, want 3", len(open))
+	}
+	if e.Rewards() != nil {
+		t.Fatal("rewards published before reprice")
+	}
+	if err := e.Reprice([]geo.Point{geo.Pt(50, 50)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MeanPublishedReward(); got != 20 {
+		t.Errorf("mean reward = %v, want 20", got)
+	}
+	if r, ok := e.RewardFor(2); !ok || r != 20 {
+		t.Errorf("RewardFor(2) = %v, %v", r, ok)
+	}
+	if ctx := e.Context(); ctx == nil || ctx.Len() != 3 {
+		t.Fatalf("context = %v", ctx)
+	}
+
+	var rs metrics.RoundStats
+	e.StartRoundStats(&rs)
+	if rs.Round != 1 || rs.OpenTasks != 3 || rs.MeanPublishedReward != 20 {
+		t.Errorf("start stats = %+v", rs)
+	}
+
+	// Task 1 needs one measurement: the commit pays the published reward,
+	// completes the task, and lands in the closed set.
+	reward, completed, err := e.Commit(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reward != 10 || !completed {
+		t.Errorf("commit = reward %v, completed %v", reward, completed)
+	}
+	if got := e.Closed(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("closed = %v", got)
+	}
+	// Double-fill protection: the same user again, then any user on the
+	// now-complete task.
+	if _, _, err := e.Commit(7, 1); err == nil {
+		t.Error("repeat commit accepted")
+	}
+	if _, _, err := e.Commit(8, 1); err == nil {
+		t.Error("commit to complete task accepted")
+	}
+	if _, _, err := e.Commit(7, 99); err == nil {
+		t.Error("commit to unknown task accepted")
+	}
+
+	e.FinishRoundStats(&rs)
+	if rs.NewMeasurements != 1 || rs.RewardPaid != 10 {
+		t.Errorf("finish stats = %+v", rs)
+	}
+
+	// Next round: task 1 is complete and drops from the snapshot; the
+	// closed set resets.
+	open = e.BeginRound(2)
+	if len(open) != 2 || open[0].ID != 2 || open[1].ID != 3 {
+		t.Fatalf("round 2 open = %v", open)
+	}
+	if len(e.Closed()) != 0 {
+		t.Error("closed set survived BeginRound")
+	}
+
+	var tr metrics.TrialResult
+	e.FinishTrial(&tr)
+	if tr.TotalMeasurements != 1 || tr.TotalRewardPaid != 10 {
+		t.Errorf("trial = %+v", tr)
+	}
+	if tr.Coverage != 1.0/3 {
+		t.Errorf("coverage = %v", tr.Coverage)
+	}
+}
+
+func TestProblemIntoFiltering(t *testing.T) {
+	mech := stubMechanism{rewards: map[task.ID]float64{1: 10, 2: 20}} // task 3 unpriced
+	spec := Spec{Start: geo.Pt(0, 0), MaxDistance: 5000, CostPerMeter: 0.001}
+
+	for _, tc := range []struct {
+		requirePriced bool
+		wantIDs       []task.ID
+	}{
+		// The simulator offers unpriced open tasks at reward 0; the
+		// platform drops them.
+		{requirePriced: false, wantIDs: []task.ID{1, 2, 3}},
+		{requirePriced: true, wantIDs: []task.ID{1, 2}},
+	} {
+		e := testEngine(t, Config{
+			Board: testBoard(t), Mechanism: mech,
+			Area: geo.Square(1000), NeighborRadius: 100,
+			RequirePriced: tc.requirePriced,
+		})
+		e.BeginRound(1)
+		if err := e.Reprice(nil); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := e.ProblemInto(spec, Worker(1), nil)
+		if !p.CandidatesValid || p.Ctx == nil {
+			t.Errorf("requirePriced=%v: problem = valid %v, ctx %v",
+				tc.requirePriced, p.CandidatesValid, p.Ctx)
+		}
+		if len(p.Candidates) != len(tc.wantIDs) {
+			t.Fatalf("requirePriced=%v: %d candidates, want %d",
+				tc.requirePriced, len(p.Candidates), len(tc.wantIDs))
+		}
+		for i, want := range tc.wantIDs {
+			c := p.Candidates[i]
+			if c.ID != want || c.Reward != mech.rewards[want] || c.CtxIndex != i {
+				t.Errorf("requirePriced=%v: candidate %d = %+v", tc.requirePriced, i, c)
+			}
+		}
+
+		// A task the actor contributed to drops out.
+		if _, _, err := e.Commit(1, tc.wantIDs[0]); err != nil {
+			t.Fatal(err)
+		}
+		p, _ = e.ProblemInto(spec, Worker(1), nil)
+		if len(p.Candidates) != len(tc.wantIDs)-1 || p.Candidates[0].ID == tc.wantIDs[0] {
+			t.Errorf("requirePriced=%v: after commit candidates = %v", tc.requirePriced, p.Candidates)
+		}
+	}
+}
+
+func TestRepriceErrors(t *testing.T) {
+	board := testBoard(t)
+	area := geo.Square(1000)
+
+	t.Run("no mechanism", func(t *testing.T) {
+		e := testEngine(t, Config{Board: board})
+		e.BeginRound(1)
+		if err := e.Reprice(nil); err == nil {
+			t.Fatal("reprice without mechanism accepted")
+		}
+	})
+	t.Run("mechanism error unpublishes", func(t *testing.T) {
+		good := stubMechanism{rewards: map[task.ID]float64{1: 10}}
+		e := testEngine(t, Config{Board: board, Mechanism: good, Area: area, NeighborRadius: 100})
+		e.BeginRound(1)
+		if err := e.Reprice(nil); err != nil {
+			t.Fatal(err)
+		}
+		e.SetMechanism(stubMechanism{err: fmt.Errorf("backend down")})
+		e.BeginRound(2)
+		if err := e.Reprice(nil); err == nil {
+			t.Fatal("mechanism error swallowed")
+		}
+		if e.Rewards() != nil || e.Context() != nil || e.MeanPublishedReward() != 0 {
+			t.Error("stale state left published after failed reprice")
+		}
+	})
+	t.Run("NaN reward", func(t *testing.T) {
+		bad := stubMechanism{rewards: map[task.ID]float64{1: 1, 2: math.NaN()}}
+		e := testEngine(t, Config{Board: board, Mechanism: bad, Area: area, NeighborRadius: 100})
+		e.BeginRound(1)
+		err := e.Reprice(nil)
+		if err == nil {
+			t.Fatal("NaN reward accepted")
+		}
+		if want := "mechanism stub: NaN reward for task 2"; err.Error() != want {
+			t.Errorf("err = %q, want %q", err, want)
+		}
+		if e.Rewards() != nil {
+			t.Error("rewards published despite NaN")
+		}
+	})
+	t.Run("bad area surfaces at reprice", func(t *testing.T) {
+		mech := stubMechanism{rewards: map[task.ID]float64{1: 1}}
+		e := testEngine(t, Config{Board: board, Mechanism: mech}) // no area/radius
+		e.BeginRound(1)
+		if err := e.Reprice(nil); err == nil {
+			t.Fatal("invalid grid configuration accepted")
+		}
+	})
+	t.Run("no open tasks publishes nothing", func(t *testing.T) {
+		e := testEngine(t, Config{Board: board, Mechanism: stubMechanism{err: fmt.Errorf("never called")}})
+		e.BeginRound(100) // past every deadline
+		if err := e.Reprice(nil); err != nil {
+			t.Fatalf("empty-round reprice consulted the mechanism: %v", err)
+		}
+	})
+}
+
+func TestDisableContext(t *testing.T) {
+	board := testBoard(t)
+	mech := stubMechanism{rewards: map[task.ID]float64{1: 10, 2: 20, 3: 30}}
+	e := testEngine(t, Config{
+		Board: board, Mechanism: mech,
+		Area: geo.Square(1000), NeighborRadius: 100,
+		DisableContext: true,
+	})
+	e.BeginRound(1)
+	if err := e.Reprice(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Context() != nil {
+		t.Error("context built despite DisableContext")
+	}
+	p, _ := e.ProblemInto(Spec{Start: geo.Pt(0, 0), MaxDistance: 5000}, Worker(1), nil)
+	if p.Ctx != nil {
+		t.Error("problem linked a context despite DisableContext")
+	}
+}
+
+// TestHoldContextSurvivesReprice pins the lease contract: a context held
+// across a reprice keeps its old distance table while the engine
+// publishes a new one, and releasing the hold recycles the lease.
+func TestHoldContextSurvivesReprice(t *testing.T) {
+	board := testBoard(t)
+	mech := stubMechanism{rewards: map[task.ID]float64{1: 10, 2: 20, 3: 30}}
+	e := testEngine(t, Config{Board: board, Mechanism: mech, Area: geo.Square(1000), NeighborRadius: 100})
+
+	e.BeginRound(1)
+	if err := e.Reprice(nil); err != nil {
+		t.Fatal(err)
+	}
+	held := e.Context()
+	hold := e.HoldContext()
+	wantLen := held.Len()
+	wantDist := held.Dist(0, 1)
+
+	// Complete task 1 so the next round's context is over 2 tasks.
+	if _, _, err := e.Commit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.BeginRound(2)
+	if err := e.Reprice(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Context() == held {
+		t.Fatal("reprice recycled a held context")
+	}
+	if held.Len() != wantLen || held.Dist(0, 1) != wantDist {
+		t.Error("held context mutated across reprice")
+	}
+	second := e.Context()
+	hold.Release()
+
+	// With no hold on it, round 2's lease returns to the pool when round 3
+	// begins, and the next reprice recycles it (the pool is LIFO).
+	e.BeginRound(3)
+	if err := e.Reprice(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Context() != second {
+		t.Error("released lease not recycled")
+	}
+
+	// The zero-value hold (nothing published) is a valid no-op.
+	e.Clear()
+	e.HoldContext().Release()
+}
+
+// TestRepriceSteadyStateAllocs pins the zero-allocation contract: once
+// buffers have grown, a reprice allocates nothing beyond what the
+// mechanism itself returns (here nothing: the stub reuses one map).
+func TestRepriceSteadyStateAllocs(t *testing.T) {
+	board := testBoard(t)
+	mech := stubMechanism{rewards: map[task.ID]float64{1: 10, 2: 20, 3: 30}}
+	e := testEngine(t, Config{Board: board, Mechanism: mech, Area: geo.Square(1000), NeighborRadius: 100})
+	locs := []geo.Point{geo.Pt(50, 50), geo.Pt(800, 800)}
+
+	e.BeginRound(1)
+	if err := e.Reprice(locs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.BeginRound(1)
+		if err := e.Reprice(locs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state reprice allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -26,26 +26,48 @@ type GridIndex struct {
 // radius. Points outside bounds are clamped into it for bucketing purposes
 // (queries remain exact because candidate distances are always re-checked).
 func NewGridIndex(bounds Rect, cellSize float64, pts []Point) (*GridIndex, error) {
+	g := &GridIndex{}
+	if err := g.Reset(bounds, cellSize, pts); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Reset rebuilds the index in place over a new point set, reusing the
+// previous build's storage (the point copy, the cell table, and each
+// cell's bucket) when it is large enough. After the first few builds over
+// same-sized inputs a Reset allocates nothing, which is what lets the
+// platform engine rebuild its neighbor index every round without garbage.
+// The points are copied; the caller may reuse its slice. Query results are
+// identical to a fresh NewGridIndex over the same inputs.
+func (g *GridIndex) Reset(bounds Rect, cellSize float64, pts []Point) error {
 	if !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
-		return nil, fmt.Errorf("geo: invalid bounds %v", bounds)
+		return fmt.Errorf("geo: invalid bounds %v", bounds)
 	}
 	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
-		return nil, fmt.Errorf("geo: invalid cell size %v", cellSize)
+		return fmt.Errorf("geo: invalid cell size %v", cellSize)
 	}
-	g := &GridIndex{
-		bounds:   bounds,
-		cellSize: cellSize,
-		cols:     int(math.Ceil(bounds.Width()/cellSize)) + 1,
-		rows:     int(math.Ceil(bounds.Height()/cellSize)) + 1,
-		pts:      make([]Point, len(pts)),
+	g.bounds = bounds
+	g.cellSize = cellSize
+	g.cols = int(math.Ceil(bounds.Width()/cellSize)) + 1
+	g.rows = int(math.Ceil(bounds.Height()/cellSize)) + 1
+	n := g.cols * g.rows
+	// Grow the cell table while keeping the existing buckets' capacity:
+	// reslicing to capacity first preserves bucket headers populated by
+	// earlier, larger builds.
+	if cap(g.cells) < n {
+		g.cells = append(g.cells[:cap(g.cells)], make([][]int, n-cap(g.cells))...)
 	}
-	copy(g.pts, pts)
-	g.cells = make([][]int, g.cols*g.rows)
+	g.cells = g.cells[:n]
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
+	g.pts = append(g.pts[:0], pts...)
 	for i, p := range g.pts {
 		c := g.cellOf(p)
 		g.cells[c] = append(g.cells[c], i)
 	}
-	return g, nil
+	return nil
 }
 
 // Len returns the number of indexed points.

@@ -195,3 +195,64 @@ func TestGridIndexCopiesInput(t *testing.T) {
 		t.Error("index aliased caller's slice")
 	}
 }
+
+// TestGridIndexResetReuse pins the in-place reuse contract: one index
+// Reset over changing point sets, cell sizes, and bounds must answer
+// exactly like a fresh index each time, including shrinking below a
+// previous size, and must not allocate once grown.
+func TestGridIndexResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := &GridIndex{}
+	for trial := 0; trial < 20; trial++ {
+		side := 500 + rng.Float64()*2500
+		bounds := Square(side)
+		cell := 50 + rng.Float64()*500
+		n := rng.Intn(300) // occasionally far smaller than the last trial
+		pts := randomPoints(rng, n, bounds)
+		if err := g.Reset(bounds, cell, pts); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewGridIndex(bounds, cell, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Len() != fresh.Len() {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, g.Len(), fresh.Len())
+		}
+		for q := 0; q < 50; q++ {
+			center := Pt(rng.Float64()*side, rng.Float64()*side)
+			r := rng.Float64() * side / 2
+			if got, want := g.CountWithin(center, r), fresh.CountWithin(center, r); got != want {
+				t.Fatalf("trial %d: CountWithin(%v, %v) = %d, want %d", trial, center, r, got, want)
+			}
+		}
+	}
+}
+
+func TestGridIndexResetRejectsBadInput(t *testing.T) {
+	g := &GridIndex{}
+	if err := g.Reset(Rect{Min: Pt(1, 1), Max: Pt(0, 0)}, 10, nil); err == nil {
+		t.Error("invalid bounds accepted")
+	}
+	if err := g.Reset(Square(100), 0, nil); err == nil {
+		t.Error("zero cell size accepted")
+	}
+}
+
+func TestGridIndexResetSteadyStateAllocs(t *testing.T) {
+	bounds := Square(1000)
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 200, bounds)
+	g := &GridIndex{}
+	if err := g.Reset(bounds, 100, pts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := g.Reset(bounds, 100, pts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Reset allocates %v objects/op, want 0", allocs)
+	}
+}

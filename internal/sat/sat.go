@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"paydemand/internal/agent"
+	"paydemand/internal/engine"
 	"paydemand/internal/geo"
 	"paydemand/internal/metrics"
 	"paydemand/internal/stats"
@@ -126,8 +127,12 @@ type Simulation struct {
 	cfg      Config
 	scenario workload.Scenario
 	board    *task.Board
-	users    []*agent.User
-	ran      bool
+	// eng runs the snapshot/settle/stats stages shared with the WST
+	// simulator; the reverse auction replaces the publish/select stages,
+	// so the engine has no mechanism and never reprices.
+	eng   *engine.Engine
+	users []*agent.User
+	ran   bool
 	// remainingBudget is the platform's unspent payment budget.
 	remainingBudget float64
 }
@@ -155,10 +160,15 @@ func New(cfg Config, seed int64) (*Simulation, error) {
 		u.CostPerMeter = cfg.CostPerMeter
 		users[i] = u
 	}
+	eng, err := engine.New(engine.Config{Board: board})
+	if err != nil {
+		return nil, err
+	}
 	return &Simulation{
 		cfg:             cfg,
 		scenario:        sc,
 		board:           board,
+		eng:             eng,
 		users:           users,
 		remainingBudget: cfg.Budget,
 	}, nil
@@ -196,32 +206,25 @@ func (s *Simulation) Run() (metrics.TrialResult, error) {
 		result.Rounds = append(result.Rounds, rs)
 		result.RoundsRun = k
 	}
-	result.Coverage = s.board.Coverage()
-	result.OverallCompleteness = s.board.OverallCompleteness()
-	result.StrictCompleteness = s.board.StrictCompleteness()
-	counts := s.board.MeasurementCounts()
-	result.AvgMeasurements = stats.Mean(counts)
-	result.VarianceMeasurements = stats.Variance(counts)
-	result.TotalMeasurements = s.board.TotalReceived()
-	result.TotalRewardPaid = s.board.TotalRewardPaid()
-	result.AvgRewardPerMeasurement = s.board.AverageRewardPerMeasurement()
+	s.eng.FinishTrial(&result)
 	result.UserProfits = make([]float64, len(s.users))
 	for i, u := range s.users {
 		result.UserProfits[i] = u.Profit()
 	}
 	result.AvgUserProfit = stats.Mean(result.UserProfits)
-	result.TaskGini = stats.Gini(counts)
 	result.ProfitGini = stats.Gini(result.UserProfits)
 	return result, nil
 }
 
-// runRound executes one bid/assign/perform cycle.
+// runRound executes one bid/assign/perform cycle. The engine snapshots
+// the open set and settles awarded measurements; the auction itself —
+// bid collection and greedy winner determination — is this driver's.
 func (s *Simulation) runRound(k int) (metrics.RoundStats, error) {
 	rs := metrics.RoundStats{Round: k}
-	open := s.board.OpenAt(k)
+	open := s.eng.BeginRound(k)
 	rs.OpenTasks = len(open)
 	if len(open) == 0 {
-		s.fillRoundStats(k, &rs)
+		s.eng.FinishRoundStats(&rs)
 		return rs, nil
 	}
 
@@ -273,7 +276,7 @@ func (s *Simulation) runRound(k int) (metrics.RoundStats, error) {
 		if b.Amount > s.remainingBudget {
 			continue
 		}
-		if err := st.Record(b.User, k, b.Amount); err != nil {
+		if _, err := s.eng.CommitPaid(b.User, b.Task, b.Amount); err != nil {
 			return rs, err
 		}
 		u.MarkDone(b.Task)
@@ -292,7 +295,7 @@ func (s *Simulation) runRound(k int) (metrics.RoundStats, error) {
 	for id, p := range pos {
 		byID[id].MoveTo(p)
 	}
-	s.fillRoundStats(k, &rs)
+	s.eng.FinishRoundStats(&rs)
 	return rs, nil
 }
 
@@ -315,15 +318,6 @@ func (s *Simulation) collectBids(k int, open []*task.State) []Bid {
 		}
 	}
 	return bids
-}
-
-// fillRoundStats completes the per-round bookkeeping.
-func (s *Simulation) fillRoundStats(k int, rs *metrics.RoundStats) {
-	rs.NewMeasurements = s.board.TotalReceivedAt(k)
-	rs.TotalMeasurements = s.board.TotalReceived()
-	rs.Coverage = s.board.CoverageBy(k)
-	rs.Completeness = s.board.OverallCompletenessBy(k)
-	rs.RewardPaid = s.board.TotalRewardPaid()
 }
 
 // Run builds and runs a SAT campaign in one call.

@@ -9,8 +9,8 @@ import (
 	"strconv"
 
 	"paydemand/internal/aggregate"
+	"paydemand/internal/engine"
 	"paydemand/internal/reputation"
-	"paydemand/internal/selection"
 	"paydemand/internal/task"
 	"paydemand/internal/wire"
 )
@@ -63,9 +63,17 @@ func (p *Platform) handleRegister(w http.ResponseWriter, r *http.Request) {
 	p.writeJSON(w, http.StatusOK, wire.RegisterResponse{UserID: id})
 }
 
-// handleRound publishes the current round.
+// handleRound publishes the current round. A round whose reprice failed
+// is reported as an error rather than served as an empty task list: the
+// platform has no prices, which is an operational fault, not a finished
+// campaign.
 func (p *Platform) handleRound(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
+	if err := p.repriceErr; err != nil {
+		p.mu.Unlock()
+		p.writeError(w, http.StatusInternalServerError, "reprice failed: %v", err)
+		return
+	}
 	info := p.roundInfoLocked()
 	p.mu.Unlock()
 	p.writeJSON(w, http.StatusOK, info)
@@ -98,23 +106,24 @@ func (p *Platform) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := wire.SubmitResponse{}
+	board := p.eng.Board()
 	for _, m := range req.Measurements {
 		res := wire.SubmitResult{TaskID: m.TaskID}
-		st := p.board.Get(m.TaskID)
 		switch {
-		case st == nil:
+		case board.Get(m.TaskID) == nil:
 			res.Reason = "unknown task"
 		default:
-			reward, priced := p.rewards[m.TaskID]
+			reward, priced := p.eng.RewardFor(m.TaskID)
 			if !priced {
 				res.Reason = "task not published this round"
 				break
 			}
-			if p.cfg.HardBudget > 0 && p.board.TotalRewardPaid()+reward > p.cfg.HardBudget+budgetTol {
+			if p.cfg.HardBudget > 0 && board.TotalRewardPaid()+reward > p.cfg.HardBudget+budgetTol {
 				res.Reason = "budget exhausted"
 				break
 			}
-			if err := st.Record(req.UserID, p.round, reward); err != nil {
+			completed, err := p.eng.CommitPaid(req.UserID, m.TaskID, reward)
+			if err != nil {
 				res.Reason = recordReason(err)
 				break
 			}
@@ -125,7 +134,7 @@ func (p *Platform) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				User:  req.UserID,
 				Value: m.Value,
 			})
-			if p.cfg.Reputation != nil && st.Complete() {
+			if p.cfg.Reputation != nil && completed {
 				p.scoreContributorsLocked(m.TaskID)
 			}
 		}
@@ -193,36 +202,23 @@ func (p *Platform) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	p.workers[req.UserID] = req.Location
 	round := p.round
-	problem := selection.Problem{
+	// The candidate buffer is per-request (nil, so ProblemInto allocates):
+	// the problem escapes the lock and must not share engine scratch. The
+	// shared distance context is engine scratch, so it is pinned with a
+	// hold for the duration of the solve — a concurrent Advance may
+	// reprice, and an in-flight solve must never observe a mutation.
+	problem, _ := p.eng.ProblemInto(engine.Spec{
 		Start:        req.Location,
 		MaxDistance:  req.Speed * req.TimeBudget,
 		CostPerMeter: req.CostPerMeter,
-		Ctx:          p.planCtx,
-	}
-	for _, st := range p.board.OpenAt(round) {
-		reward, priced := p.rewards[st.ID]
-		if !priced || st.Contributed(req.UserID) {
-			continue
-		}
-		ctxIdx, inCtx := p.planCtxIdx[st.ID]
-		if !inCtx {
-			// Cannot happen while the open set only shrinks within a
-			// round, but degrade to direct distance computation rather
-			// than hand the solver a broken context linkage.
-			problem.Ctx = nil
-		}
-		problem.Candidates = append(problem.Candidates, selection.Candidate{
-			ID:       st.ID,
-			Location: st.Location,
-			Reward:   reward,
-			CtxIndex: ctxIdx,
-		})
-	}
+	}, engine.Worker(req.UserID), nil)
+	hold := p.eng.HoldContext()
 	p.mu.Unlock()
 
 	alg := p.planners.Get()
 	plan, err := alg.Select(problem)
 	p.planners.Put(alg)
+	hold.Release()
 	if err != nil {
 		p.writeError(w, http.StatusInternalServerError, "plan: %v", err)
 		return
@@ -253,16 +249,17 @@ func (p *Platform) handleAdvance(w http.ResponseWriter, r *http.Request) {
 // handleStatus reports the platform's metric snapshot.
 func (p *Platform) handleStatus(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
+	board := p.eng.Board()
 	resp := wire.StatusResponse{
 		Round:                   p.round,
 		Done:                    p.done,
 		Workers:                 len(p.workers),
-		OpenTasks:               len(p.board.OpenAt(p.round)),
-		TotalMeasurements:       p.board.TotalReceived(),
-		Coverage:                p.board.Coverage(),
-		OverallCompleteness:     p.board.OverallCompleteness(),
-		TotalRewardPaid:         p.board.TotalRewardPaid(),
-		AvgRewardPerMeasurement: p.board.AverageRewardPerMeasurement(),
+		OpenTasks:               len(board.OpenAt(p.round)),
+		TotalMeasurements:       board.TotalReceived(),
+		Coverage:                board.Coverage(),
+		OverallCompleteness:     board.OverallCompleteness(),
+		TotalRewardPaid:         board.TotalRewardPaid(),
+		AvgRewardPerMeasurement: board.AverageRewardPerMeasurement(),
 	}
 	p.mu.Unlock()
 	p.writeJSON(w, http.StatusOK, resp)
@@ -319,7 +316,7 @@ func (p *Platform) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		p.writeError(w, http.StatusBadRequest, "bad task id %q", raw)
 		return
 	}
-	if p.board.Get(task.ID(id)) == nil {
+	if p.eng.Board().Get(task.ID(id)) == nil {
 		p.writeError(w, http.StatusNotFound, "unknown task %d", id)
 		return
 	}

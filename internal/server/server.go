@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"paydemand/internal/aggregate"
+	"paydemand/internal/engine"
 	"paydemand/internal/geo"
 	"paydemand/internal/incentive"
 	"paydemand/internal/reputation"
@@ -72,22 +73,28 @@ type Platform struct {
 	// without holding mu.
 	planners *selection.SolverPool
 
+	// eng is the round state machine shared with the simulator: open-task
+	// snapshot, neighbor counting, repricing, shared solver context,
+	// commits, round state. All engine mutations happen under mu; plan
+	// solves that outlive the lock pin the context with eng.HoldContext,
+	// which lets the engine recycle its round scratch (a steady-state
+	// reprice allocates only the mechanism's reward map) without an
+	// in-flight solve ever observing a mutation.
+	eng *engine.Engine
+
 	mu      sync.Mutex
-	board   *task.Board
 	round   int
 	done    bool
-	rewards map[task.ID]float64
 	workers map[int]geo.Point // worker id -> last known location
 	nextID  int
-	// planCtx is the round's shared solver context (pairwise distances
-	// over the tasks open at reprice time) with planCtxIdx mapping task
-	// IDs to context slots. A fresh context is allocated at every reprice
-	// rather than Reset in place: planning requests solve against it
-	// outside the lock, and an in-flight solve must never observe a
-	// mutation. The open set only shrinks within a round, so every task
-	// still open is in the context.
-	planCtx    *selection.RoundContext
-	planCtxIdx map[task.ID]int
+	// locBuf is the grow-only worker-location scratch fed to the engine's
+	// reprice.
+	locBuf []geo.Point
+	// repriceErr is the error of the last failed reprice, cleared on
+	// success. While set, the engine publishes no rewards (it unpublishes
+	// on error) and GET /v1/round reports the failure instead of silently
+	// serving an empty round.
+	repriceErr error
 	// contribs stores who uploaded what per task, for aggregation (e.g.
 	// building a noise map) and reputation scoring.
 	contribs map[task.ID][]reputation.Contribution
@@ -126,11 +133,23 @@ func New(cfg Config) (*Platform, error) {
 	if planner == nil {
 		planner = func() selection.Algorithm { return &selection.Auto{} }
 	}
+	eng, err := engine.New(engine.Config{
+		Board:          board,
+		Mechanism:      cfg.Mechanism,
+		Area:           cfg.Area,
+		NeighborRadius: cfg.NeighborRadius,
+		// An unpriced task is not published on the wire, so it is not a
+		// planning candidate either.
+		RequirePriced: true,
+	})
+	if err != nil {
+		return nil, err
+	}
 	p := &Platform{
 		cfg:      cfg,
 		logger:   logger,
 		planners: selection.NewSolverPool(planner),
-		board:    board,
+		eng:      eng,
 		round:    1,
 		workers:  make(map[int]geo.Point),
 		contribs: make(map[task.ID][]reputation.Contribution),
@@ -164,58 +183,39 @@ func (p *Platform) maxRounds() int {
 	if p.cfg.MaxRounds > 0 {
 		return p.cfg.MaxRounds
 	}
-	return p.board.MaxDeadline()
+	return p.eng.Board().MaxDeadline()
 }
 
-// repriceLocked recomputes the current round's rewards. Callers must hold
-// p.mu.
+// repriceLocked recomputes the current round's rewards through the
+// engine. On failure the engine has unpublished everything, so the
+// platform serves no stale prices; the error is also remembered in
+// p.repriceErr until the next successful reprice. Callers must hold p.mu.
 func (p *Platform) repriceLocked() error {
-	open := p.board.OpenAt(p.round)
+	open := p.eng.BeginRound(p.round)
 	if len(open) == 0 {
-		p.rewards = nil
-		p.planCtx = nil
-		p.planCtxIdx = nil
+		p.repriceErr = nil
 		return nil
 	}
-	locs := make([]geo.Point, 0, len(p.workers))
+	p.locBuf = p.locBuf[:0]
 	//paylint:sorted locs only feed GridIndex.CountWithin, and a count within a radius is order-independent
 	for _, loc := range p.workers {
-		locs = append(locs, loc)
+		p.locBuf = append(p.locBuf, loc)
 	}
-	grid, err := geo.NewGridIndex(p.cfg.Area, p.cfg.NeighborRadius, locs)
-	if err != nil {
-		return err
-	}
-	views := make([]incentive.TaskView, len(open))
-	for i, st := range open {
-		views[i] = incentive.TaskView{
-			ID:        st.ID,
-			Location:  st.Location,
-			Deadline:  st.Deadline,
-			Required:  st.Required,
-			Received:  st.Received(),
-			Neighbors: grid.CountWithin(st.Location, p.cfg.NeighborRadius),
-		}
-	}
-	rewards, err := p.cfg.Mechanism.Rewards(p.round, views)
-	if err != nil {
-		return err
-	}
-	p.rewards = rewards
+	p.repriceErr = p.eng.Reprice(p.locBuf)
+	return p.repriceErr
+}
 
-	taskLocs := make([]geo.Point, len(open))
-	idx := make(map[task.ID]int, len(open))
-	for i, st := range open {
-		taskLocs[i] = st.Location
-		idx[st.ID] = i
+// Reprice recomputes the current round's rewards over the currently
+// registered workers. The constructor and Advance reprice automatically;
+// in-process drivers call this when worker registrations should be
+// reflected in the demand factors before the round is served.
+func (p *Platform) Reprice() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return nil
 	}
-	ctx, err := selection.NewRoundContext(taskLocs)
-	if err != nil {
-		return err
-	}
-	p.planCtx = ctx
-	p.planCtxIdx = idx
-	return nil
+	return p.repriceLocked()
 }
 
 // Advance moves the platform to the next round, recomputing rewards. It
@@ -228,16 +228,17 @@ func (p *Platform) Advance() (round int, done bool, err error) {
 		return p.round, true, nil
 	}
 	p.round++
-	if p.round > p.maxRounds() || p.board.AllSettledAt(p.round) {
+	if p.round > p.maxRounds() || p.eng.Board().AllSettledAt(p.round) {
 		p.done = true
-		p.rewards = nil
+		p.eng.Clear()
+		p.repriceErr = nil
 		p.logger.Info("campaign done", "round", p.round)
 		return p.round, true, nil
 	}
 	if err := p.repriceLocked(); err != nil {
 		return p.round, false, err
 	}
-	p.logger.Info("round advanced", "round", p.round, "open_tasks", len(p.rewards))
+	p.logger.Info("round advanced", "round", p.round, "open_tasks", len(p.eng.Rewards()))
 	return p.round, false, nil
 }
 
@@ -251,8 +252,13 @@ func (p *Platform) Round() wire.RoundInfo {
 
 func (p *Platform) roundInfoLocked() wire.RoundInfo {
 	info := wire.RoundInfo{Round: p.round, Done: p.done}
-	for _, st := range p.board.OpenAt(p.round) {
-		reward, ok := p.rewards[st.ID]
+	// The engine's snapshot is from reprice time; tasks filled since then
+	// are no longer open and drop out of the published round.
+	for _, st := range p.eng.Open() {
+		if !st.OpenAt(p.round) {
+			continue
+		}
+		reward, ok := p.eng.RewardFor(st.ID)
 		if !ok {
 			continue
 		}
@@ -270,7 +276,7 @@ func (p *Platform) roundInfoLocked() wire.RoundInfo {
 
 // Board exposes the platform's task board for inspection (aggregation,
 // metrics). The caller must not mutate it concurrently with serving.
-func (p *Platform) Board() *task.Board { return p.board }
+func (p *Platform) Board() *task.Board { return p.eng.Board() }
 
 // Values returns a copy of the uploaded measurement values for a task.
 func (p *Platform) Values(id task.ID) []float64 {

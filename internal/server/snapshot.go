@@ -45,7 +45,7 @@ func (p *Platform) Snapshot() Snapshot {
 		Done:          p.done,
 		NextWorkerID:  p.nextID,
 		Workers:       make(map[int]geo.Point, len(p.workers)),
-		Board:         p.board.Snapshot(),
+		Board:         p.eng.Board().Snapshot(),
 		Contributions: make(map[task.ID][]reputation.Contribution, len(p.contribs)),
 	}
 	// Map-to-map copies are order-independent, and encoding/json sorts map
@@ -77,16 +77,16 @@ func (p *Platform) Restore(snap Snapshot) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if board.Len() != p.board.Len() {
+	if board.Len() != p.eng.Board().Len() {
 		return fmt.Errorf("server: snapshot has %d tasks, platform configured with %d",
-			board.Len(), p.board.Len())
+			board.Len(), p.eng.Board().Len())
 	}
-	for _, id := range p.board.IDs() {
+	for _, id := range p.eng.Board().IDs() {
 		if board.Get(id) == nil {
 			return fmt.Errorf("server: snapshot missing task %d", id)
 		}
 	}
-	p.board = board
+	p.eng.SetBoard(board)
 	p.round = snap.Round
 	p.done = snap.Done
 	p.nextID = snap.NextWorkerID
@@ -101,7 +101,8 @@ func (p *Platform) Restore(snap Snapshot) error {
 		p.contribs[id] = append([]reputation.Contribution(nil), cs...)
 	}
 	if p.done {
-		p.rewards = nil
+		// SetBoard already cleared the published round state.
+		p.repriceErr = nil
 		return nil
 	}
 	return p.repriceLocked()

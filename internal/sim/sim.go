@@ -2,11 +2,11 @@ package sim
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 
 	"paydemand/internal/agent"
+	"paydemand/internal/engine"
 	"paydemand/internal/geo"
 	"paydemand/internal/incentive"
 	"paydemand/internal/metrics"
@@ -56,6 +56,7 @@ type Simulation struct {
 	cfg      Config
 	scenario workload.Scenario
 	board    *task.Board
+	eng      *engine.Engine
 	users    []*agent.User
 	mech     incentive.Mechanism
 	alg      selection.Algorithm
@@ -71,29 +72,27 @@ type Simulation struct {
 	ran             bool
 
 	// Per-round scratch, reused across rounds and users so the steady-state
-	// round loop runs without allocations: the shared solver context over
-	// the round's open tasks, its location slice, the per-user candidate
-	// buffer (see Observer.UserPlanned for the resulting aliasing rules),
-	// the mechanism's task views, and the idle-time tracker.
-	roundCtx *selection.RoundContext
-	taskLocs []geo.Point
+	// round loop runs without allocations: the per-user candidate buffer
+	// (see Observer.UserPlanned for the resulting aliasing rules), the
+	// idle-time tracker, and the user-location slice fed to the engine's
+	// reprice. The round-level scratch — open snapshot, neighbor grid, task
+	// views, shared solver context — lives inside the engine.
 	candBuf  []selection.Candidate
-	viewBuf  []incentive.TaskView
 	idleBuf  []float64
 	userLocs []geo.Point
 	// permBuf is the grow-only per-round user-order permutation buffer
 	// (filled by PermInto with the exact draws Perm used to make).
 	permBuf []int
 
-	// Speculative parallel round engine state (RoundParallelism > 1): the
-	// solver pool giving each worker goroutine its own scratch-owning
-	// Algorithm, the per-position speculation slots (each with its own
-	// grow-only candidate buffer so a speculative problem stays valid
-	// through its commit), and the IDs of tasks filled by commits of the
-	// current round (the conflict set that triggers inline replays).
-	pool      *selection.SolverPool
-	spec      []speculation
-	closedBuf []task.ID
+	// Speculative parallel round state (RoundParallelism > 1): the solver
+	// pool giving each worker goroutine its own scratch-owning Algorithm
+	// and the per-position speculation slots (each with its own grow-only
+	// candidate buffer so a speculative problem stays valid through its
+	// commit). The conflict set that triggers inline replays — the IDs of
+	// tasks filled by commits of the current round — is the engine's
+	// Closed set.
+	pool *selection.SolverPool
+	spec []speculation
 }
 
 // speculation is one user's concurrently solved selection for the current
@@ -153,10 +152,25 @@ func NewFromScenario(cfg Config, sc workload.Scenario, seed int64) (*Simulation,
 	if err != nil {
 		return nil, err
 	}
+	eng, err := engine.New(engine.Config{
+		Board:          board,
+		Mechanism:      mech,
+		Area:           sc.Area,
+		NeighborRadius: cfg.NeighborRadius,
+		DisableContext: cfg.DisableRoundContext,
+		// Historical simulator behavior: unpriced open tasks stay in
+		// candidate sets at reward 0 (the candidate count feeds Auto's
+		// algorithm dispatch, so dropping them would change results).
+		RequirePriced: false,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Simulation{
 		cfg:      cfg,
 		scenario: sc,
 		board:    board,
+		eng:      eng,
 		mech:     mech,
 		alg:      alg,
 		orderRNG: orderRNG,
@@ -230,6 +244,9 @@ func (s *Simulation) Run(obs Observer) (metrics.TrialResult, error) {
 	if obs == nil {
 		obs = BaseObserver{}
 	}
+	// The mechanism may have been substituted after construction (tests
+	// inject stubs); make sure the engine prices with the current one.
+	s.eng.SetMechanism(s.mech)
 
 	result := metrics.TrialResult{
 		Mechanism: s.mech.Name(),
@@ -249,91 +266,34 @@ func (s *Simulation) Run(obs Observer) (metrics.TrialResult, error) {
 		result.ConflictReplays += rs.ConflictReplays
 	}
 
-	result.Coverage = s.board.Coverage()
-	result.OverallCompleteness = s.board.OverallCompleteness()
-	result.StrictCompleteness = s.board.StrictCompleteness()
-	counts := s.board.MeasurementCounts()
-	result.AvgMeasurements = stats.Mean(counts)
-	result.VarianceMeasurements = stats.Variance(counts)
-	result.TotalMeasurements = s.board.TotalReceived()
-	result.TotalRewardPaid = s.board.TotalRewardPaid()
-	result.AvgRewardPerMeasurement = s.board.AverageRewardPerMeasurement()
+	s.eng.FinishTrial(&result)
 	result.UserProfits = append([]float64(nil), s.departedProfits...)
 	for _, u := range s.users {
 		result.UserProfits = append(result.UserProfits, u.Profit())
 	}
 	result.AvgUserProfit = stats.Mean(result.UserProfits)
-	result.TaskGini = stats.Gini(counts)
 	result.ProfitGini = stats.Gini(result.UserProfits)
 	return result, nil
 }
 
 // runRound executes one sensing round: reward update, publication,
-// distributed selection, upload, and bookkeeping.
+// distributed selection, upload, and bookkeeping. The engine runs the
+// shared platform pipeline (snapshot, reprice, commit, stats); this
+// driver owns what is simulation-specific — user agents, acting order,
+// speculation, mobility, churn.
 func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 	rs := metrics.RoundStats{Round: k}
 
-	open := s.board.OpenAt(k)
+	open := s.eng.BeginRound(k)
 	rs.OpenTasks = len(open)
-	var rewards map[task.ID]float64
 	if len(open) > 0 {
-		views, err := s.taskViews(open)
-		if err != nil {
+		s.userLocs = agent.LocationsInto(s.userLocs, s.users)
+		if err := s.eng.Reprice(s.userLocs); err != nil {
 			return rs, err
 		}
-		rewards, err = s.mech.Rewards(k, views)
-		if err != nil {
-			return rs, err
-		}
-		// A mechanism may legally return no rewards for open tasks (for
-		// example when its budget is exhausted); the mean must then be zero,
-		// not 0/0 = NaN, which would poison every aggregate built on it.
-		// Sum in the board's task order, not map order: float addition is
-		// not associative, so a map-ordered sum would make
-		// MeanPublishedReward differ between runs of the same seed.
-		if len(rewards) > 0 {
-			total := 0.0
-			for _, st := range open {
-				if r, ok := rewards[st.ID]; ok {
-					total += r
-				}
-			}
-			rs.MeanPublishedReward = total / float64(len(rewards))
-		}
-		// Validate the round's shared selection inputs once, here, instead
-		// of once per user selection call: reward sanity below, task
-		// locations inside the round-context build (or the explicit loop on
-		// the uncached path). problemFor then marks its problems
-		// CandidatesValid. Scanning in board order keeps the reported task
-		// deterministic when several rewards are NaN.
-		for _, st := range open {
-			if r, ok := rewards[st.ID]; ok && math.IsNaN(r) {
-				return rs, fmt.Errorf("mechanism %s: NaN reward for task %d", s.mech.Name(), st.ID)
-			}
-		}
-		if s.cfg.DisableRoundContext {
-			for _, st := range open {
-				if !st.Location.IsFinite() {
-					return rs, fmt.Errorf("task %d: non-finite location %v", st.ID, st.Location)
-				}
-			}
-		} else {
-			// The shared per-round solver context: the open tasks' pairwise
-			// distance table, computed once and reused by every user's
-			// selection call this round (task locations are static within a
-			// round). Storage is recycled from the previous round.
-			s.taskLocs = s.taskLocs[:0]
-			for _, st := range open {
-				s.taskLocs = append(s.taskLocs, st.Location)
-			}
-			if s.roundCtx == nil {
-				s.roundCtx = &selection.RoundContext{}
-			}
-			if err := s.roundCtx.Reset(s.taskLocs); err != nil {
-				return rs, err
-			}
-		}
+		rs.MeanPublishedReward = s.eng.MeanPublishedReward()
 	}
+	rewards := s.eng.Rewards()
 	obs.RoundStart(k, rewards)
 
 	// idle tracks each user's leftover time this round, which feeds the
@@ -353,7 +313,7 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 		// across rounds; PermInto consumes exactly the draws Perm made, so
 		// seeded results are untouched.
 		s.permBuf = s.orderRNG.PermInto(s.permBuf, len(s.users))
-		if err := s.runUsers(k, s.permBuf, open, rewards, obs, &rs, idle); err != nil {
+		if err := s.runUsers(k, s.permBuf, obs, &rs, idle); err != nil {
 			return rs, err
 		}
 	}
@@ -386,11 +346,7 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 		}
 	}
 
-	rs.NewMeasurements = s.board.TotalReceivedAt(k)
-	rs.TotalMeasurements = s.board.TotalReceived()
-	rs.Coverage = s.board.CoverageBy(k)
-	rs.Completeness = s.board.OverallCompletenessBy(k)
-	rs.RewardPaid = s.board.TotalRewardPaid()
+	s.eng.FinishRoundStats(&rs)
 	obs.RoundEnd(k, rs)
 	return rs, nil
 }
@@ -414,12 +370,11 @@ func (s *Simulation) runRound(k int, obs Observer) (metrics.RoundStats, error) {
 // depend on candidates it does not select (Auto dispatches DP vs greedy on
 // the reachable-candidate count), so an untouched-but-selectable closed
 // task still forces a replay.
-func (s *Simulation) runUsers(k int, perm []int, open []*task.State, rewards map[task.ID]float64, obs Observer, rs *metrics.RoundStats, idle []float64) error {
+func (s *Simulation) runUsers(k int, perm []int, obs Observer, rs *metrics.RoundStats, idle []float64) error {
 	parallel := s.pool != nil && len(perm) > 1
 	if parallel {
-		s.speculate(k, perm, open, rewards)
+		s.speculate(perm)
 		rs.SpeculativeSolves = len(perm)
-		s.closedBuf = s.closedBuf[:0]
 	}
 	for pos, ui := range perm {
 		u := s.users[ui]
@@ -434,7 +389,7 @@ func (s *Simulation) runUsers(k int, perm []int, open []*task.State, rewards map
 			// user could still have selected: solve against the current
 			// board state, exactly as the sequential loop would at this
 			// position.
-			problem = s.problemFor(u, k, open, rewards)
+			problem = s.problemFor(u)
 			plan, err = s.alg.Select(problem)
 			if parallel {
 				rs.ConflictReplays++
@@ -448,12 +403,8 @@ func (s *Simulation) runUsers(k int, perm []int, open []*task.State, rewards map
 			continue
 		}
 		for _, id := range plan.Order {
-			st := s.board.Get(id)
-			if err := st.Record(u.ID, k, rewards[id]); err != nil {
+			if _, _, err := s.eng.Commit(u.ID, id); err != nil {
 				return fmt.Errorf("user %d task %d: %w", u.ID, id, err)
-			}
-			if parallel && st.Complete() {
-				s.closedBuf = append(s.closedBuf, id)
 			}
 			u.MarkDone(id)
 		}
@@ -472,12 +423,12 @@ func (s *Simulation) runUsers(k int, perm []int, open []*task.State, rewards map
 	return nil
 }
 
-// speculate solves every user's round-k selection problem concurrently
-// against the round-start snapshot, filling s.spec by perm position. The
-// board, the open slice, the reward map, and the shared round context are
-// all read-only during this phase, so the only mutable state a worker
-// touches is its own pooled solver and its positions' speculation slots.
-func (s *Simulation) speculate(k int, perm []int, open []*task.State, rewards map[task.ID]float64) {
+// speculate solves every user's current-round selection problem
+// concurrently against the round-start snapshot, filling s.spec by perm
+// position. The engine is only read during this phase (ProblemInto is a
+// read-only accessor), so the only mutable state a worker touches is its
+// own pooled solver and its positions' speculation slots.
+func (s *Simulation) speculate(perm []int) {
 	n := len(perm)
 	if len(s.spec) < n {
 		s.spec = append(s.spec, make([]speculation, n-len(s.spec))...)
@@ -503,7 +454,7 @@ func (s *Simulation) speculate(k int, perm []int, open []*task.State, rewards ma
 				}
 				sp := &spec[pos]
 				u := s.users[perm[pos]]
-				sp.problem, sp.cand = s.problemForInto(u, k, open, rewards, sp.cand)
+				sp.problem, sp.cand = s.problemForInto(u, sp.cand)
 				sp.plan, sp.err = alg.Select(sp.problem)
 			}
 		}()
@@ -520,7 +471,7 @@ func (s *Simulation) speculate(k int, perm []int, open []*task.State, rewards ma
 // never invalidate it, which keeps replays rare outside pathological
 // contention.
 func (s *Simulation) invalidated(u *agent.User) bool {
-	for _, id := range s.closedBuf {
+	for _, id := range s.eng.Closed() {
 		if !s.board.Get(id).Contributed(u.ID) && !u.HasDone(id) {
 			return true
 		}
@@ -528,80 +479,28 @@ func (s *Simulation) invalidated(u *agent.User) bool {
 	return false
 }
 
-// taskViews builds the mechanism's per-task observations, counting each
-// task's neighboring users with a grid index over current user locations.
-// The returned slice is simulation-owned scratch, valid until the next
-// round (mechanisms consume it synchronously inside Rewards).
-func (s *Simulation) taskViews(open []*task.State) ([]incentive.TaskView, error) {
-	s.userLocs = agent.LocationsInto(s.userLocs, s.users)
-	grid, err := geo.NewGridIndex(s.scenario.Area, s.cfg.NeighborRadius, s.userLocs)
-	if err != nil {
-		return nil, err
-	}
-	if cap(s.viewBuf) < len(open) {
-		s.viewBuf = make([]incentive.TaskView, len(open))
-	}
-	views := s.viewBuf[:len(open)]
-	for i, st := range open {
-		views[i] = incentive.TaskView{
-			ID:        st.ID,
-			Location:  st.Location,
-			Deadline:  st.Deadline,
-			Required:  st.Required,
-			Received:  st.Received(),
-			Neighbors: grid.CountWithin(st.Location, s.cfg.NeighborRadius),
-		}
-	}
-	return views, nil
-}
-
-// problemFor assembles one user's selection problem for round k: every
-// published task the user has not already contributed to, priced at this
-// round's rewards, and still accepting measurements. Candidates follow the
-// board's task order so the simulation is deterministic under a seed.
-//
-// The candidate slice is simulation-owned scratch shared by all users of a
-// round, and the problem links the round's shared solver context (each
-// candidate's CtxIndex is its slot in the open task list the context was
-// built over). The shared inputs were validated in runRound, so the
-// problem is marked CandidatesValid and solvers skip the per-candidate
-// re-validation.
-func (s *Simulation) problemFor(u *agent.User, k int, open []*task.State, rewards map[task.ID]float64) selection.Problem {
-	p, buf := s.problemForInto(u, k, open, rewards, s.candBuf)
+// problemFor assembles one user's selection problem for the current round
+// over the shared s.candBuf scratch (see Observer.UserPlanned for the
+// resulting aliasing rules). The engine supplies the round-dependent half
+// — candidates in board order, this round's prices, the shared solver
+// context — so the simulation is deterministic under a seed.
+func (s *Simulation) problemFor(u *agent.User) selection.Problem {
+	p, buf := s.problemForInto(u, s.candBuf)
 	s.candBuf = buf
 	return p
 }
 
 // problemForInto is problemFor over a caller-owned candidate buffer,
-// returning the (possibly re-grown) buffer. The speculative engine's
-// workers use it with per-position buffers so every user's problem of a
-// round can be alive at once; the sequential path passes the shared
-// s.candBuf scratch.
-func (s *Simulation) problemForInto(u *agent.User, k int, open []*task.State, rewards map[task.ID]float64, buf []selection.Candidate) (selection.Problem, []selection.Candidate) {
-	p := selection.Problem{
+// returning the (possibly re-grown) buffer. The speculative workers use
+// it with per-position buffers so every user's problem of a round can be
+// alive at once; the sequential path passes the shared s.candBuf scratch.
+func (s *Simulation) problemForInto(u *agent.User, buf []selection.Candidate) (selection.Problem, []selection.Candidate) {
+	return s.eng.ProblemInto(engine.Spec{
 		Start:           u.Location,
 		MaxDistance:     u.MaxTravelDistance(),
 		CostPerMeter:    u.CostPerMeter,
 		PerTaskDistance: s.cfg.SensingTime * u.Speed,
-		CandidatesValid: true,
-	}
-	if !s.cfg.DisableRoundContext {
-		p.Ctx = s.roundCtx
-	}
-	buf = buf[:0]
-	for i, st := range open {
-		if !st.OpenAt(k) || st.Contributed(u.ID) || u.HasDone(st.ID) {
-			continue
-		}
-		buf = append(buf, selection.Candidate{
-			ID:       st.ID,
-			Location: st.Location,
-			Reward:   rewards[st.ID],
-			CtxIndex: i,
-		})
-	}
-	p.Candidates = buf
-	return p, buf
+	}, u, buf)
 }
 
 // Run is a convenience that builds and runs a simulation in one call.

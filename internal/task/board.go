@@ -50,13 +50,21 @@ func (b *Board) States() []*State {
 // OpenAt returns the states of tasks open at round k (incomplete and not
 // past deadline), in creation order.
 func (b *Board) OpenAt(round int) []*State {
-	var out []*State
+	return b.OpenAtInto(nil, round)
+}
+
+// OpenAtInto is OpenAt into a caller-provided buffer: it appends the open
+// states to buf[:0] and returns the (possibly re-grown) slice. The round
+// engine snapshots the open set every round, so reusing one buffer keeps
+// the round loop allocation-free.
+func (b *Board) OpenAtInto(buf []*State, round int) []*State {
+	buf = buf[:0]
 	for _, s := range b.states {
 		if s.OpenAt(round) {
-			out = append(out, s)
+			buf = append(buf, s)
 		}
 	}
-	return out
+	return buf
 }
 
 // AllSettledAt reports whether every task is either complete or expired at
