@@ -60,6 +60,8 @@ lint-tools:
 fuzz-smoke:
 	go test -run FuzzSolverEquivalence -fuzz FuzzSolverEquivalence -fuzztime 30s ./internal/selection/
 
+# Runs every benchmark once, including BenchmarkBeam (the dispatch-tuning
+# grid recorded in BENCH_beam.json).
 bench-smoke:
 	go test -run xxx -bench . -benchtime 1x -benchmem ./internal/selection/ ./internal/sim/ ./internal/experiments/ ./internal/engine/
 

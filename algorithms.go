@@ -61,7 +61,11 @@ type (
 	GreedySelector = selection.Greedy
 	// TwoOptSelector is greedy followed by 2-opt order improvement.
 	TwoOptSelector = selection.TwoOptGreedy
-	// AutoSelector uses DP on small instances and greedy beyond.
+	// BeamSelector is the deterministic beam search with 2-opt / or-opt
+	// polish; it never returns less profit than TwoOptSelector.
+	BeamSelector = selection.Beam
+	// AutoSelector dispatches per instance: DP on small filtered
+	// instances, beam search in the mid band, greedy + 2-opt beyond.
 	AutoSelector = selection.Auto
 )
 

@@ -36,7 +36,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("crowdsim", flag.ContinueOnError)
 	var (
 		mechanism = fs.String("mechanism", "on-demand", "incentive mechanism: on-demand | fixed | steered | equal-weights | deadline-only | progress-only | neighbors-only")
-		algorithm = fs.String("algorithm", "auto", "task selection: dp | greedy | auto | greedy+2opt")
+		algorithm = fs.String("algorithm", "auto", "task selection: dp | greedy | auto | greedy+2opt | beam")
 		users     = fs.Int("users", workload.DefaultNumUsers, "number of mobile users")
 		tasks     = fs.Int("tasks", workload.DefaultNumTasks, "number of sensing tasks")
 		required  = fs.Int("required", workload.DefaultRequired, "measurements required per task (phi)")
@@ -55,6 +55,8 @@ func run(args []string, out io.Writer) error {
 		compare   = fs.Bool("compare", false, "run on-demand, fixed, steered and the SAT auction side by side")
 		parallel  = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU, 1 = sequential); results are identical at any setting")
 		roundPar  = fs.Int("round-parallel", 1, "speculative solver goroutines within each round (0 = one per CPU, 1 = sequential); results are identical at any setting")
+		beamWidth = fs.Int("beam-width", 0, "beam search width for beam and auto (0 = solver default)")
+		beamImpr  = fs.Int("beam-improve", 0, "beam 2-opt/or-opt polish rounds (0 = solver default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +96,8 @@ func run(args []string, out io.Writer) error {
 		TimeBudgetJitter: *jitter,
 		Mobility:         mob,
 		RoundParallelism: *roundPar,
+		BeamWidth:        *beamWidth,
+		BeamImprove:      *beamImpr,
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -352,6 +356,7 @@ func parseMobility(s string) (sim.MobilityKind, error) {
 func parseAlgorithm(s string) (sim.AlgorithmKind, error) {
 	kinds := []sim.AlgorithmKind{
 		sim.AlgorithmDP, sim.AlgorithmGreedy, sim.AlgorithmAuto, sim.AlgorithmTwoOpt,
+		sim.AlgorithmBeam,
 	}
 	for _, k := range kinds {
 		if k.String() == s {

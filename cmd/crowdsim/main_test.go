@@ -111,6 +111,7 @@ func TestParseMechanismRoundTrips(t *testing.T) {
 func TestParseAlgorithmRoundTrips(t *testing.T) {
 	kinds := []sim.AlgorithmKind{
 		sim.AlgorithmDP, sim.AlgorithmGreedy, sim.AlgorithmAuto, sim.AlgorithmTwoOpt,
+		sim.AlgorithmBeam,
 	}
 	for _, k := range kinds {
 		got, err := parseAlgorithm(k.String())

@@ -31,17 +31,19 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "", "figure to run (5a, 5b, 6a, 6b, 7a, 7b, 8a, 8b, 9a, 9b); empty with -all runs everything")
-		all      = fs.Bool("all", false, "run every figure")
-		trials   = fs.Int("trials", 20, "trials per configuration (paper: 100)")
-		seed     = fs.Int64("seed", 1, "base random seed")
-		users    = fs.Int("series-users", 0, "population for vs-round figures (0 = paper's 100)")
-		plot     = fs.Bool("plot", true, "render ASCII plots")
-		csvDir   = fs.String("csv", "", "directory to also write <figure>.csv files into")
-		list     = fs.Bool("list", false, "list the available figure IDs and exit")
-		parallel = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU, 1 = sequential); output is identical at any setting")
-		roundPar = fs.Int("round-parallel", 1, "speculative solver goroutines within each round (0 = one per CPU, 1 = sequential); output is identical at any setting")
-		progress = fs.Bool("progress", false, "report completed/total trials on stderr while a figure runs")
+		fig       = fs.String("fig", "", "figure to run (5a, 5b, 6a, 6b, 7a, 7b, 8a, 8b, 9a, 9b); empty with -all runs everything")
+		all       = fs.Bool("all", false, "run every figure")
+		trials    = fs.Int("trials", 20, "trials per configuration (paper: 100)")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		users     = fs.Int("series-users", 0, "population for vs-round figures (0 = paper's 100)")
+		plot      = fs.Bool("plot", true, "render ASCII plots")
+		csvDir    = fs.String("csv", "", "directory to also write <figure>.csv files into")
+		list      = fs.Bool("list", false, "list the available figure IDs and exit")
+		parallel  = fs.Int("parallel", 0, "trial worker goroutines (0 = one per CPU, 1 = sequential); output is identical at any setting")
+		roundPar  = fs.Int("round-parallel", 1, "speculative solver goroutines within each round (0 = one per CPU, 1 = sequential); output is identical at any setting")
+		progress  = fs.Bool("progress", false, "report completed/total trials on stderr while a figure runs")
+		beamWidth = fs.Int("beam-width", 0, "beam search width for auto's mid band (0 = solver default)")
+		beamImpr  = fs.Int("beam-improve", 0, "beam 2-opt/or-opt polish rounds (0 = solver default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,8 +86,12 @@ func run(args []string, out io.Writer) error {
 	}
 	// Round-level speculation composes with trial-level parallelism: every
 	// runner builds its sim.Config from Base, so the knob flows to each
-	// figure without per-figure plumbing.
+	// figure without per-figure plumbing. The beam knobs ride the same
+	// path: dense figure sweeps (200+ users, many open tasks) push Auto
+	// into its beam band, and these tune it without touching the figures.
 	opts.Base.RoundParallelism = *roundPar
+	opts.Base.BeamWidth = *beamWidth
+	opts.Base.BeamImprove = *beamImpr
 	for _, id := range ids {
 		if *progress {
 			opts.Progress = func(done, total int) {

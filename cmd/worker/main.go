@@ -45,7 +45,7 @@ func run(ctx context.Context, args []string) error {
 		area        = fs.Float64("area", 3000, "square area side for initial placement")
 		speed       = fs.Float64("speed", 2, "walking speed m/s")
 		timeBudget  = fs.Float64("time-budget", 600, "per-round time budget seconds")
-		algorithm   = fs.String("algorithm", "auto", "selection algorithm: dp | greedy | auto | greedy+2opt")
+		algorithm   = fs.String("algorithm", "auto", "selection algorithm: dp | greedy | auto | greedy+2opt | beam")
 		poll        = fs.Duration("poll", 200*time.Millisecond, "round poll interval")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +69,8 @@ func run(ctx context.Context, args []string) error {
 			return &selection.Auto{}, nil
 		case "greedy+2opt":
 			return &selection.TwoOptGreedy{}, nil
+		case "beam":
+			return &selection.Beam{}, nil
 		default:
 			return nil, fmt.Errorf("unknown algorithm %q", *algorithm)
 		}

@@ -15,7 +15,8 @@ import (
 // aliasing explicit; anything else is a latent use-after-recycle bug.
 //
 // A field counts as scratch when the package reslices it in place
-// somewhere (`x.f = x.f[:n]` or `x.f = x.f[0:n]`), the truncate-and-
+// somewhere (`x.f = x.f[:n]`, `x.f = x.f[0:n]`) or refills it through
+// the append idiom (`x.f = append(x.f[:0], ...)`), the truncate-and-
 // refill signature of buffer reuse. An exported function or method that
 // returns such a field (directly, through a reslice, or via a simple
 // local alias) is flagged unless:
@@ -77,12 +78,26 @@ func collectScratchFields(pass *Pass) map[*types.Var]bool {
 					continue
 				}
 				// x.f = x.f[...] — reslicing the same field in place.
-				sl, ok := assign.Rhs[i].(*ast.SliceExpr)
-				if !ok {
+				if sl, ok := assign.Rhs[i].(*ast.SliceExpr); ok {
+					if fieldVar(pass, sl.X) == fv {
+						scratch[fv] = true
+					}
 					continue
 				}
-				if fieldVar(pass, sl.X) == fv {
-					scratch[fv] = true
+				// x.f = append(x.f[:0], ...) — the refill flavor of the
+				// same recycle discipline.
+				if call, ok := assign.Rhs[i].(*ast.CallExpr); ok && len(call.Args) > 0 {
+					id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+					if !ok || id.Name != "append" {
+						continue
+					}
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+						continue
+					}
+					sl, ok := call.Args[0].(*ast.SliceExpr)
+					if ok && fieldVar(pass, sl.X) == fv {
+						scratch[fv] = true
+					}
 				}
 			}
 			return true

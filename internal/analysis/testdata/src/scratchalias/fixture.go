@@ -3,15 +3,21 @@
 // call, so returning it hands out memory the next call overwrites.
 package scratchalias
 
-// Solver has one scratch buffer (buf, truncated in place by reset) and
-// one plain state slice (state, never truncated).
+// Solver has two scratch buffers — buf, truncated in place by reset, and
+// abuf, recycled through the append idiom by refill — and one plain
+// state slice (state, never truncated).
 type Solver struct {
 	buf   []int
+	abuf  []int
 	state []int
 }
 
 func (s *Solver) reset() {
 	s.buf = s.buf[:0]
+}
+
+func (s *Solver) refill(xs []int) {
+	s.abuf = append(s.abuf[:0], xs...)
 }
 
 // Order leaks the scratch buffer directly.
@@ -50,6 +56,13 @@ func (s *Solver) Peek() []int {
 //paylint:aliases state
 func (s *Solver) WrongField() []int {
 	return s.buf // want `exported WrongField returns scratch buffer buf`
+}
+
+// Refilled leaks the append-recycled buffer: append(s.abuf[:0], ...)
+// overwrites the same backing array on the next call just like an
+// in-place reslice does.
+func (s *Solver) Refilled() []int {
+	return s.abuf // want `exported Refilled returns scratch buffer abuf`
 }
 
 // State is accepted: state is never truncated in place, so it is not a

@@ -1,0 +1,51 @@
+package selection
+
+import (
+	"fmt"
+	"testing"
+)
+
+// beamBenchSizes is the dispatch-tuning grid: from the DP band (m = 10)
+// through the dense regime the beam exists for (m = 30..200). The
+// measured results live in BENCH_beam.json and justify Auto's ladder
+// thresholds (DefaultAutoThreshold, DefaultAutoBeamMaxTasks).
+var beamBenchSizes = []int{10, 20, 30, 40, 60, 80, 100, 150, 200}
+
+// BenchmarkBeam measures the beam solver across the tuning grid, next to
+// greedy+2opt (the ladder's last resort) at the same sizes so the
+// time-vs-quality tradeoff is read off one table. allocs/op must stay at
+// the steady-state floor (the returned Plan) at every size.
+func BenchmarkBeam(b *testing.B) {
+	algs := []Algorithm{&Beam{}, &TwoOptGreedy{}}
+	for _, alg := range algs {
+		for _, m := range beamBenchSizes {
+			p := benchSolverProblem(m)
+			b.Run(fmt.Sprintf("%s/m=%d", alg.Name(), m), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := alg.Select(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBeamWidth sweeps the width knob at a dense size: the knob's
+// cost is linear in width, its quality return flattens quickly (see
+// TestBeamWidthQuality), which is why DefaultBeamWidth sits at 8.
+func BenchmarkBeamWidth(b *testing.B) {
+	p := benchSolverProblem(80)
+	for _, w := range []int{1, 4, 8, 16, 32} {
+		bm := &Beam{Width: w}
+		b.Run(fmt.Sprintf("w=%d/m=80", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bm.Select(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,36 +9,48 @@ import (
 	"paydemand/internal/task"
 )
 
-// FuzzSolverEquivalence fuzzes small random selection instances and
-// cross-checks the solvers against each other and against the problem's
-// feasibility constraints:
+// FuzzSolverEquivalence fuzzes random selection instances — small ones
+// where the exact solvers are feasible and dense ones past the DP cap —
+// and cross-checks the solvers against each other and against the
+// problem's feasibility constraints:
 //
 //   - every plan respects the travel budget including per-task overhead,
 //     visits no task twice, and has consistent accounting
 //     (checkPlanInvariants plus budgetUsed);
-//   - DP and BruteForce, both exact, agree on the optimal profit;
-//   - DP dominates Greedy, and 2-opt never falls below the Greedy plan
-//     it improves.
+//   - on small instances DP and BruteForce, both exact, agree on the
+//     optimal profit; DP dominates Greedy; and the beam matches the DP
+//     optimum within 1e-6 (its exact-regime delegation contract);
+//   - at every size — including the dense 30..80-candidate regime the
+//     beam exists for, where no exact oracle is affordable — 2-opt never
+//     falls below the Greedy plan it improves, and the beam never falls
+//     below either heuristic.
 //
 // The generator parameters (not raw candidate bytes) are fuzzed: the
 // candidate geometry comes from a seeded stats.RNG, so every interesting
 // input is reproducible from five scalars and the corpus stays readable.
 // The committed seed corpus in testdata/fuzz/FuzzSolverEquivalence
 // covers the edge regimes: zero tasks, zero budget, zero cost, heavy
-// per-task overhead, and a dense high-reward instance.
+// per-task overhead, a dense high-reward instance, and the beyond-DP
+// densities (m = 30..80) where only the heuristic invariants apply.
 func FuzzSolverEquivalence(f *testing.F) {
 	f.Add(int64(1), 4, 800.0, 0.002, 0.0)
 	f.Add(int64(2024), 7, 1500.0, 0.01, 30.0)
 	f.Add(int64(-9), 0, 100.0, 0.0, 0.0)
 	f.Add(int64(7), 6, 0.0, 0.005, 5.0)
 	f.Add(int64(42), 5, 3000.0, 0.02, 120.0)
+	// Dense boards beyond the DP cap: the beam's home regime.
+	f.Add(int64(11), 30, 2500.0, 0.004, 0.0)
+	f.Add(int64(-77), 55, 1800.0, 0.008, 40.0)
+	f.Add(int64(314), 80, 2900.0, 0.001, 10.0)
 	f.Fuzz(func(t *testing.T, seed int64, n int, budget, costPerMeter, perTask float64) {
 		if !finite(budget) || !finite(costPerMeter) || !finite(perTask) {
 			t.Skip("non-finite parameters are rejected by Problem.Validate")
 		}
 		// Map the fuzzed scalars into the valid problem domain so every
 		// input exercises the solvers rather than Validate's error paths.
-		nTasks := abs(n) % (BruteForceMaxTasks - 1) // 0..8 keeps BruteForce in range
+		// Sizes 0..80 span both regimes; the exact oracles only run where
+		// they are feasible (BruteForce caps at 9).
+		nTasks := abs(n) % 81
 		budget = math.Mod(math.Abs(budget), 3000)
 		costPerMeter = math.Mod(math.Abs(costPerMeter), 0.02)
 		perTask = math.Mod(math.Abs(perTask), 200)
@@ -58,8 +70,13 @@ func FuzzSolverEquivalence(f *testing.F) {
 			})
 		}
 
+		algs := []Algorithm{&Greedy{}, &TwoOptGreedy{}, &Beam{}}
+		exact := nTasks < BruteForceMaxTasks
+		if exact {
+			algs = append(algs, &DP{}, &BruteForce{})
+		}
 		plans := map[string]Plan{}
-		for _, alg := range []Algorithm{&DP{}, &BruteForce{}, &Greedy{}, &TwoOptGreedy{}} {
+		for _, alg := range algs {
 			pl, err := alg.Select(p)
 			if err != nil {
 				t.Fatalf("%s: %v", alg.Name(), err)
@@ -75,16 +92,29 @@ func FuzzSolverEquivalence(f *testing.F) {
 			plans[alg.Name()] = pl
 		}
 
-		dp, bf := plans[(&DP{}).Name()], plans[(&BruteForce{}).Name()]
 		gr, to := plans[(&Greedy{}).Name()], plans[(&TwoOptGreedy{}).Name()]
-		if math.Abs(dp.Profit-bf.Profit) > 1e-6 {
-			t.Fatalf("exact solvers disagree: DP profit %v, BruteForce %v", dp.Profit, bf.Profit)
-		}
-		if dp.Profit < gr.Profit-1e-9 {
-			t.Fatalf("DP profit %v < Greedy %v: optimal solver dominated by heuristic", dp.Profit, gr.Profit)
-		}
+		beam := plans[(&Beam{}).Name()]
 		if to.Profit < gr.Profit-1e-9 {
 			t.Fatalf("2-opt profit %v < Greedy %v: improvement pass made the plan worse", to.Profit, gr.Profit)
+		}
+		if beam.Profit < gr.Profit-1e-9 {
+			t.Fatalf("beam profit %v < Greedy %v: beam fell through its greedy floor", beam.Profit, gr.Profit)
+		}
+		if beam.Profit < to.Profit-1e-9 {
+			t.Fatalf("beam profit %v < greedy+2opt %v: beam fell through its 2-opt floor", beam.Profit, to.Profit)
+		}
+		if exact {
+			dp, bf := plans[(&DP{}).Name()], plans[(&BruteForce{}).Name()]
+			if math.Abs(dp.Profit-bf.Profit) > 1e-6 {
+				t.Fatalf("exact solvers disagree: DP profit %v, BruteForce %v", dp.Profit, bf.Profit)
+			}
+			if dp.Profit < gr.Profit-1e-9 {
+				t.Fatalf("DP profit %v < Greedy %v: optimal solver dominated by heuristic", dp.Profit, gr.Profit)
+			}
+			if math.Abs(beam.Profit-dp.Profit) > 1e-6 {
+				t.Fatalf("beam profit %v not within 1e-6 of DP optimum %v on %d candidates",
+					beam.Profit, dp.Profit, nTasks)
+			}
 		}
 	})
 }

@@ -157,17 +157,28 @@ func TestValidateCtxLinkage(t *testing.T) {
 	}
 }
 
-// TestValidateDuplicates covers both duplicate-detection paths: the
-// allocation-free quadratic scan below the threshold and the map fallback
-// above it.
+// dupProblem builds a problem with m candidates carrying distinct ids
+// 1..m at distinct locations.
+func dupProblem(m int) Problem {
+	p := Problem{Start: geo.Pt(0, 0)}
+	for i := 0; i < m; i++ {
+		p.Candidates = append(p.Candidates, Candidate{
+			ID: task.ID(i + 1), Location: geo.Pt(float64(i), 0), Reward: 1,
+		})
+	}
+	return p
+}
+
+// TestValidateDuplicates covers both duplicate-detection paths — the
+// allocation-free quadratic scan up to the threshold and the map fallback
+// above it — pinning the boundary itself: threshold-1, the threshold
+// (last instance on the quadratic path), and threshold+1 (first on the
+// map path). Each size checks both the clean path and a duplicate
+// spanning the first and last candidates, the pair a boundary off-by-one
+// would miss first.
 func TestValidateDuplicates(t *testing.T) {
-	for _, m := range []int{5, dupScanThreshold + 10} {
-		p := Problem{Start: geo.Pt(0, 0)}
-		for i := 0; i < m; i++ {
-			p.Candidates = append(p.Candidates, Candidate{
-				ID: task.ID(i + 1), Location: geo.Pt(float64(i), 0), Reward: 1,
-			})
-		}
+	for _, m := range []int{5, dupScanThreshold - 1, dupScanThreshold, dupScanThreshold + 1, dupScanThreshold + 10} {
+		p := dupProblem(m)
 		if err := p.Validate(); err != nil {
 			t.Fatalf("m=%d distinct ids rejected: %v", m, err)
 		}
@@ -175,6 +186,29 @@ func TestValidateDuplicates(t *testing.T) {
 		if err := p.Validate(); !errors.Is(err, ErrDuplicateCandidate) {
 			t.Errorf("m=%d duplicate err = %v, want ErrDuplicateCandidate", m, err)
 		}
+	}
+}
+
+// TestValidateDupScanBoundaryAllocs pins the allocation contract at the
+// path switch: the quadratic scan at exactly dupScanThreshold candidates
+// allocates nothing, and the map fallback one past it is the only thing
+// that allocates.
+func TestValidateDupScanBoundaryAllocs(t *testing.T) {
+	at := dupProblem(dupScanThreshold)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := at.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Validate at m=%d allocates %v times per run, want 0 (quadratic path)", dupScanThreshold, n)
+	}
+	over := dupProblem(dupScanThreshold + 1)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := over.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}); n == 0 {
+		t.Logf("Validate at m=%d no longer allocates; map fallback gone?", dupScanThreshold+1)
 	}
 }
 

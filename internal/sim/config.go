@@ -78,10 +78,14 @@ const (
 	AlgorithmDP AlgorithmKind = iota + 1
 	// AlgorithmGreedy is the O(m^2) heuristic.
 	AlgorithmGreedy
-	// AlgorithmAuto uses DP on small filtered instances, greedy beyond.
+	// AlgorithmAuto dispatches per instance: DP on small filtered
+	// instances, beam search in the mid band, greedy + 2-opt beyond.
 	AlgorithmAuto
 	// AlgorithmTwoOpt is greedy followed by 2-opt order improvement.
 	AlgorithmTwoOpt
+	// AlgorithmBeam is the deterministic beam search with 2-opt / or-opt
+	// polish (see selection.Beam).
+	AlgorithmBeam
 )
 
 // String implements fmt.Stringer.
@@ -95,6 +99,8 @@ func (k AlgorithmKind) String() string {
 		return "auto"
 	case AlgorithmTwoOpt:
 		return "greedy+2opt"
+	case AlgorithmBeam:
+		return "beam"
 	default:
 		return fmt.Sprintf("AlgorithmKind(%d)", int(k))
 	}
@@ -146,6 +152,15 @@ type Config struct {
 	// selection.DPHardMaxTasks are rejected: the DP table would overflow
 	// its index arithmetic (and any realistic memory) before reaching them.
 	DPMaxTasks int `json:"dp_max_tasks"`
+	// BeamWidth is the beam search width (states kept per depth) for the
+	// beam solver and Auto's beam band; zero means
+	// selection.DefaultBeamWidth. Negative values are rejected loudly —
+	// a width of zero states would silently solve nothing.
+	BeamWidth int `json:"beam_width"`
+	// BeamImprove is the number of 2-opt / or-opt polish rounds the beam
+	// runs on its best route; zero means selection.DefaultBeamImprove.
+	// Negative values are rejected loudly.
+	BeamImprove int `json:"beam_improve"`
 	// DisableRoundContext turns off the per-round shared solver context
 	// (the task-pair distance table computed once per round and reused by
 	// every user's selection call) and recomputes distances per user
@@ -235,6 +250,12 @@ func (c Config) withDefaults() Config {
 	if c.DemandLevels == 0 {
 		c.DemandLevels = DefaultDemandLevels
 	}
+	if c.BeamWidth == 0 {
+		c.BeamWidth = selection.DefaultBeamWidth
+	}
+	if c.BeamImprove == 0 {
+		c.BeamImprove = selection.DefaultBeamImprove
+	}
 	if c.Mobility == 0 {
 		c.Mobility = MobilityStationary
 	}
@@ -264,6 +285,18 @@ func (c Config) Validate() error {
 	if c.DPMaxTasks > selection.DPHardMaxTasks {
 		return fmt.Errorf("sim: dp max tasks %d exceeds solver hard cap %d",
 			c.DPMaxTasks, selection.DPHardMaxTasks)
+	}
+	// Zero means default (filled above); what reaches this check is a
+	// configured negative, which would otherwise be carried into the
+	// solver as a beam that keeps no states (or a polish loop with a
+	// negative trip count) and silently return empty plans.
+	if c.BeamWidth <= 0 {
+		return fmt.Errorf("sim: beam width %d, want > 0 (0 = default %d)",
+			c.BeamWidth, selection.DefaultBeamWidth)
+	}
+	if c.BeamImprove < 0 {
+		return fmt.Errorf("sim: beam improve rounds %d, want >= 0 (0 = default %d)",
+			c.BeamImprove, selection.DefaultBeamImprove)
 	}
 	if c.SensingTime < 0 {
 		return fmt.Errorf("sim: sensing time %v, want >= 0", c.SensingTime)
@@ -338,9 +371,15 @@ func (c Config) buildAlgorithm() (selection.Algorithm, error) {
 	case AlgorithmGreedy:
 		return &selection.Greedy{}, nil
 	case AlgorithmAuto:
-		return &selection.Auto{Threshold: c.DPMaxTasks}, nil
+		return &selection.Auto{
+			Threshold:   c.DPMaxTasks,
+			BeamWidth:   c.BeamWidth,
+			BeamImprove: c.BeamImprove,
+		}, nil
 	case AlgorithmTwoOpt:
 		return &selection.TwoOptGreedy{}, nil
+	case AlgorithmBeam:
+		return &selection.Beam{Width: c.BeamWidth, Improve: c.BeamImprove}, nil
 	default:
 		return nil, fmt.Errorf("sim: unknown algorithm %v", c.Algorithm)
 	}

@@ -30,7 +30,7 @@ func equivCfg(alg AlgorithmKind) Config {
 // cache is a pure lookup of the same float operations, so not a single
 // bit may move.
 func TestRoundContextDeterminism(t *testing.T) {
-	algs := []AlgorithmKind{AlgorithmDP, AlgorithmGreedy, AlgorithmAuto, AlgorithmTwoOpt}
+	algs := []AlgorithmKind{AlgorithmDP, AlgorithmGreedy, AlgorithmAuto, AlgorithmTwoOpt, AlgorithmBeam}
 	for _, alg := range algs {
 		t.Run(alg.String(), func(t *testing.T) {
 			run := func(disable bool) []byte {

@@ -37,7 +37,7 @@ func trialJSON(t *testing.T, cfg Config, seed int64) ([]byte, metrics.TrialResul
 // contract: for every solver, trial JSON is byte-identical between the
 // sequential loop and the parallel engine at worker counts 2 and 8.
 func TestParallelRoundDeterminism(t *testing.T) {
-	algorithms := []AlgorithmKind{AlgorithmDP, AlgorithmGreedy, AlgorithmTwoOpt, AlgorithmAuto}
+	algorithms := []AlgorithmKind{AlgorithmDP, AlgorithmGreedy, AlgorithmTwoOpt, AlgorithmAuto, AlgorithmBeam}
 	scenarios := []struct {
 		name string
 		cfg  Config

@@ -232,7 +232,7 @@ func TestAllMechanismsRun(t *testing.T) {
 }
 
 func TestAllAlgorithmsRun(t *testing.T) {
-	for _, a := range []AlgorithmKind{AlgorithmDP, AlgorithmGreedy, AlgorithmAuto, AlgorithmTwoOpt} {
+	for _, a := range []AlgorithmKind{AlgorithmDP, AlgorithmGreedy, AlgorithmAuto, AlgorithmTwoOpt, AlgorithmBeam} {
 		cfg := smallConfig()
 		cfg.Algorithm = a
 		res, err := Run(cfg, 3)
@@ -332,6 +332,11 @@ func TestConfigValidateRejections(t *testing.T) {
 		{"negative lambda", func(c *Config) { c.RewardLambda = -0.5 }},
 		{"negative levels", func(c *Config) { c.DemandLevels = -2 }},
 		{"bad workload", func(c *Config) { c.Workload.NumUsers = -1 }},
+		// A negative beam width would reach the solver as a beam keeping
+		// no states; a negative improve count as a nonsense polish loop.
+		// Both must fail loudly here, not degrade silently downstream.
+		{"negative beam width", func(c *Config) { c.BeamWidth = -1 }},
+		{"negative beam improve", func(c *Config) { c.BeamImprove = -3 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -356,7 +361,8 @@ func TestKindStrings(t *testing.T) {
 		t.Error("unknown mechanism string wrong")
 	}
 	if AlgorithmDP.String() != "dp" || AlgorithmGreedy.String() != "greedy" ||
-		AlgorithmAuto.String() != "auto" || AlgorithmTwoOpt.String() != "greedy+2opt" {
+		AlgorithmAuto.String() != "auto" || AlgorithmTwoOpt.String() != "greedy+2opt" ||
+		AlgorithmBeam.String() != "beam" {
 		t.Error("algorithm strings wrong")
 	}
 	if AlgorithmKind(99).String() != "AlgorithmKind(99)" {

@@ -78,6 +78,7 @@ const (
 	AlgorithmGreedy = sim.AlgorithmGreedy
 	AlgorithmAuto   = sim.AlgorithmAuto
 	AlgorithmTwoOpt = sim.AlgorithmTwoOpt
+	AlgorithmBeam   = sim.AlgorithmBeam
 )
 
 // MobilityKind selects the between-round user movement model.
