@@ -6,7 +6,7 @@
 STATICCHECK_VERSION := 2025.1.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test race cover lint fmt-check vet paylint staticcheck govulncheck fuzz-smoke bench-smoke ci
+.PHONY: all build test race cover lint fmt-check vet paylint staticcheck govulncheck fuzz-smoke bench-smoke bench-shard ci
 
 all: build test
 
@@ -17,7 +17,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/experiments/ ./internal/sim/ ./internal/selection/ ./internal/server/ ./internal/engine/
+	go test -race ./internal/experiments/ ./internal/sim/ ./internal/selection/ ./internal/server/ ./internal/engine/ ./internal/shard/
 
 # Aggregate coverage across every package, with a function summary.
 cover:
@@ -61,8 +61,14 @@ fuzz-smoke:
 	go test -run FuzzSolverEquivalence -fuzz FuzzSolverEquivalence -fuzztime 30s ./internal/selection/
 
 # Runs every benchmark once, including BenchmarkBeam (the dispatch-tuning
-# grid recorded in BENCH_beam.json).
+# grid recorded in BENCH_beam.json) and BenchmarkShardReprice (the
+# geo-sharded engine grid recorded in BENCH_shard.json).
 bench-smoke:
-	go test -run xxx -bench . -benchtime 1x -benchmem ./internal/selection/ ./internal/sim/ ./internal/experiments/ ./internal/engine/
+	go test -run xxx -bench . -benchtime 1x -benchmem ./internal/selection/ ./internal/sim/ ./internal/experiments/ ./internal/engine/ ./internal/shard/
+
+# The full sharded-reprice grid at recording fidelity; the numbers at the
+# repo root (BENCH_shard.json) came from this command.
+bench-shard:
+	go test -run xxx -bench BenchmarkShardReprice -benchtime 10x -benchmem ./internal/shard/
 
 ci: lint build test race fuzz-smoke bench-smoke

@@ -56,6 +56,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		radius     = fs.Float64("radius", 500, "neighbor radius R in meters")
 		roundEvery = fs.Duration("round-every", 2*time.Second, "auto-advance cadence (0 = manual via POST /v1/advance)")
 		maxRounds  = fs.Int("max-rounds", 0, "round horizon (0 = largest deadline)")
+		shards     = fs.Int("shards", 0, "geographic regions the round engine is partitioned into (0 = single engine); results are identical at any setting")
 		statePath  = fs.String("state", "", "snapshot file: loaded at startup if present, written at shutdown (resumes campaigns across restarts)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +100,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Area:           sc.Area,
 		NeighborRadius: *radius,
 		MaxRounds:      *maxRounds,
+		Shards:         *shards,
 		Logger:         logger,
 	})
 	if err != nil {

@@ -12,6 +12,7 @@ var DeterministicPackages = []string{
 	"paydemand/internal/sim",
 	"paydemand/internal/selection",
 	"paydemand/internal/engine",
+	"paydemand/internal/shard",
 	"paydemand/internal/experiments",
 	"paydemand/internal/metrics",
 	"paydemand/internal/server",

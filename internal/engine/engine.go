@@ -156,9 +156,30 @@ func (e *Engine) Reprice(userLocs []geo.Point) error {
 	if e.cfg.Mechanism == nil {
 		return errors.New("engine: reprice without a mechanism")
 	}
-	views, err := e.taskViews(userLocs)
+	views, err := e.NeighborViews(userLocs)
 	if err != nil {
 		return err
+	}
+	return e.RepriceViews(views)
+}
+
+// RepriceViews is the pricing half of Reprice over caller-supplied task
+// views: mechanism consultation, board-order mean, reward validation,
+// shared-context rebuild, publication. views must hold one entry per
+// open-snapshot task, in board order — normally the slice NeighborViews
+// returned, but the geo-sharded engine builds it by merging per-region
+// neighbor counts so pricing still happens once, globally (the demand
+// normalization of Eq. 5 couples every task through the max neighbor
+// count, so pricing cannot be sharded without changing output).
+func (e *Engine) RepriceViews(views []incentive.TaskView) error {
+	if len(e.open) == 0 {
+		return nil
+	}
+	if e.cfg.Mechanism == nil {
+		return errors.New("engine: reprice without a mechanism")
+	}
+	if len(views) != len(e.open) {
+		return fmt.Errorf("engine: %d views for %d open tasks", len(views), len(e.open))
 	}
 	rewards, err := e.cfg.Mechanism.Rewards(e.round, views)
 	if err != nil {
@@ -202,11 +223,17 @@ func (e *Engine) Reprice(userLocs []geo.Point) error {
 	return nil
 }
 
-// taskViews builds the mechanism's per-task observations, counting each
-// task's neighboring users with the reusable grid index over the given
-// user locations. The returned slice is engine-owned scratch, valid until
-// the next Reprice (mechanisms consume it synchronously inside Rewards).
-func (e *Engine) taskViews(userLocs []geo.Point) ([]incentive.TaskView, error) {
+// NeighborViews builds the mechanism's per-task observations for the
+// current open snapshot, counting each task's neighboring users with the
+// reusable grid index over the given user locations. It is the geometric
+// half of Reprice, exported so the geo-sharded engine can run it
+// per-region (each region calls it on its halo-mirrored user set) before
+// pricing globally with RepriceViews. The returned slice is engine-owned
+// scratch, valid until the next NeighborViews/Reprice (mechanisms consume
+// it synchronously inside Rewards).
+//
+//paylint:aliases viewBuf
+func (e *Engine) NeighborViews(userLocs []geo.Point) ([]incentive.TaskView, error) {
 	if err := e.grid.Reset(e.cfg.Area, e.cfg.NeighborRadius, userLocs); err != nil {
 		return nil, err
 	}
@@ -296,6 +323,22 @@ func (e *Engine) CommitPaid(user int, id task.ID, paid float64) (completed bool,
 		return true, nil
 	}
 	return false, nil
+}
+
+// CommitPlan commits one user's planned route in order at this round's
+// published rewards. It returns the number of tasks committed; on error
+// n < len(ids) and the failing task is ids[n] (nothing after it was
+// attempted, matching a driver's sequential per-task loop). The
+// geo-sharded engine overrides this with a two-phase cross-shard commit;
+// drivers that commit whole plans should use it rather than looping over
+// Commit so they get shard atomicity for free.
+func (e *Engine) CommitPlan(user int, ids []task.ID) (n int, err error) {
+	for i, id := range ids {
+		if _, _, err := e.Commit(user, id); err != nil {
+			return i, err
+		}
+	}
+	return len(ids), nil
 }
 
 // Closed returns the IDs of tasks filled to their requirement by commits

@@ -103,13 +103,22 @@ func (g *GridIndex) CountWithin(center Point, r float64) int {
 // Within returns the indices (into the original point slice) of all points
 // strictly within radius r of center, in unspecified order.
 func (g *GridIndex) Within(center Point, r float64) []int {
-	var out []int
+	return g.WithinInto(nil, center, r)
+}
+
+// WithinInto is Within appending into dst (reset to dst[:0] first),
+// following the repo's grow-only `...Into` convention: callers on hot
+// paths pass the previous query's slice back in and reach zero
+// steady-state allocations once the buffer has grown to the largest
+// result set.
+func (g *GridIndex) WithinInto(dst []int, center Point, r float64) []int {
+	dst = dst[:0]
 	g.forEachCandidate(center, r, func(i int) {
 		if g.pts[i].Dist(center) < r {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	})
-	return out
+	return dst
 }
 
 // Nearest returns the index of the indexed point nearest to center and its

@@ -239,6 +239,65 @@ func TestGridIndexResetRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestGridIndexWithinIntoMatchesWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	bounds := Square(2000)
+	pts := randomPoints(rng, 400, bounds)
+	g, err := NewGridIndex(bounds, 250, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []int
+	for trial := 0; trial < 100; trial++ {
+		center := Pt(rng.Float64()*2000, rng.Float64()*2000)
+		r := rng.Float64() * 800
+		want := g.Within(center, r)
+		buf = g.WithinInto(buf, center, r)
+		if len(buf) != len(want) {
+			t.Fatalf("WithinInto(%v, %v) found %d, Within found %d", center, r, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("WithinInto(%v, %v)[%d] = %d, Within = %d", center, r, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGridIndexWithinIntoReusesCapacity(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(2, 2), Pt(3, 3)}
+	g, err := NewGridIndex(Square(100), 10, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int, 0, 8)
+	got := g.WithinInto(buf, Pt(0, 0), 10)
+	if len(got) != 3 {
+		t.Fatalf("WithinInto = %v, want 3 hits", got)
+	}
+	if &got[:1][0] != &buf[:1][0] {
+		t.Error("WithinInto reallocated despite sufficient capacity")
+	}
+}
+
+func TestGridIndexWithinIntoSteadyStateAllocs(t *testing.T) {
+	bounds := Square(1000)
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 300, bounds)
+	g, err := NewGridIndex(bounds, 100, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []int
+	buf = g.WithinInto(buf, Pt(500, 500), 400) // grow once
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = g.WithinInto(buf, Pt(500, 500), 400)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state WithinInto allocates %v objects/op, want 0", allocs)
+	}
+}
+
 func TestGridIndexResetSteadyStateAllocs(t *testing.T) {
 	bounds := Square(1000)
 	rng := rand.New(rand.NewSource(3))

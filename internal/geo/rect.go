@@ -62,6 +62,33 @@ func (r Rect) Clamp(p Point) Point {
 	return p
 }
 
+// Expand returns r grown outward by d on every side (shrunk for negative
+// d). The result may be degenerate if d is negative enough; callers that
+// care should check Valid.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{X: r.Min.X - d, Y: r.Min.Y - d},
+		Max: Point{X: r.Max.X + d, Y: r.Max.Y + d},
+	}
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	if o.Min.X < r.Min.X {
+		r.Min.X = o.Min.X
+	}
+	if o.Min.Y < r.Min.Y {
+		r.Min.Y = o.Min.Y
+	}
+	if o.Max.X > r.Max.X {
+		r.Max.X = o.Max.X
+	}
+	if o.Max.Y > r.Max.Y {
+		r.Max.Y = o.Max.Y
+	}
+	return r
+}
+
 // Valid reports whether r is a well-formed rectangle (Min <= Max in both
 // axes and all coordinates finite).
 func (r Rect) Valid() bool {

@@ -20,6 +20,7 @@ package sat
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"paydemand/internal/agent"
@@ -135,6 +136,14 @@ type Simulation struct {
 	ran   bool
 	// remainingBudget is the platform's unspent payment budget.
 	remainingBudget float64
+
+	// Grow-only bid-collection scratch: the open-task location grid the
+	// reachability queries run over, the per-user radius-query result
+	// buffer, and the task-location slice the grid is rebuilt from. With
+	// them a steady-state collectBids allocates only the bid slice.
+	taskGrid geo.GridIndex
+	nearBuf  []int
+	taskLocs []geo.Point
 }
 
 // New generates a scenario and prepares the campaign.
@@ -299,9 +308,49 @@ func (s *Simulation) runRound(k int) (metrics.RoundStats, error) {
 	return rs, nil
 }
 
-// collectBids gathers every user's per-task offers for the round.
+// collectBids gathers every user's per-task offers for the round. Instead
+// of testing every (user, task) pair, a grid index over the open-task
+// locations answers each user's reachability query in O(tasks within
+// radius): WithinInto with radius nextafter(maxTravel) matches the
+// brute-force `d > maxTravel` cutoff exactly (no float exists between
+// them, so strictly-within the bumped radius is precisely d <= maxTravel).
+// The hit indices are sorted back into board order before bids are
+// appended, keeping the bid sequence — and the float summation order of
+// the round's mean bid — byte-identical to the historical double loop.
 func (s *Simulation) collectBids(k int, open []*task.State) []Bid {
 	var bids []Bid
+	maxR := 0.0
+	for _, u := range s.users {
+		if r := u.MaxTravelDistance(); r > maxR {
+			maxR = r
+		}
+	}
+	if maxR > 0 && !math.IsInf(maxR, 1) {
+		s.taskLocs = s.taskLocs[:0]
+		for _, st := range open {
+			s.taskLocs = append(s.taskLocs, st.Location)
+		}
+		if err := s.taskGrid.Reset(s.scenario.Area, maxR, s.taskLocs); err == nil {
+			for _, u := range s.users {
+				maxTravel := u.MaxTravelDistance()
+				s.nearBuf = s.taskGrid.WithinInto(s.nearBuf, u.Location, math.Nextafter(maxTravel, math.Inf(1)))
+				sort.Ints(s.nearBuf)
+				for _, ti := range s.nearBuf {
+					st := open[ti]
+					if u.HasDone(st.ID) || st.Contributed(u.ID) {
+						continue
+					}
+					d := u.Location.Dist(st.Location)
+					cost := d * u.CostPerMeter
+					amount := cost*(1+s.cfg.Margin) + s.cfg.MinBid
+					bids = append(bids, Bid{User: u.ID, Task: st.ID, Amount: amount, cost: cost, dist: d})
+				}
+			}
+			return bids
+		}
+	}
+	// Fallback for degenerate inputs (no travel budget, non-finite radii,
+	// unusable area): the historical exhaustive scan.
 	for _, u := range s.users {
 		maxTravel := u.MaxTravelDistance()
 		for _, st := range open {

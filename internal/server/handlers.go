@@ -130,6 +130,7 @@ func (p *Platform) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			res.Accepted = true
 			res.Reward = reward
 			resp.TotalPaid += reward
+			p.statusDirty = true
 			p.contribs[m.TaskID] = append(p.contribs[m.TaskID], reputation.Contribution{
 				User:  req.UserID,
 				Value: m.Value,
@@ -246,21 +247,39 @@ func (p *Platform) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	p.writeJSON(w, http.StatusOK, wire.AdvanceResponse{Round: round, Done: done})
 }
 
-// handleStatus reports the platform's metric snapshot.
+// handleStatus reports the platform's metric snapshot. The board-derived
+// aggregates (each an O(tasks) walk) are cached and recomputed only when
+// something changed since the last hit (p.statusDirty); the open-task
+// count reuses the engine's cached open snapshot instead of re-scanning
+// the board, counting the snapshot entries still open — the same
+// filtering /v1/round applies, so status and round agree on what is
+// published. Only the cheap per-hit fields (round, done, worker count)
+// and the cache refresh run under the mutex; marshaling happens outside
+// it.
 func (p *Platform) handleStatus(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
-	board := p.eng.Board()
-	resp := wire.StatusResponse{
-		Round:                   p.round,
-		Done:                    p.done,
-		Workers:                 len(p.workers),
-		OpenTasks:               len(board.OpenAt(p.round)),
-		TotalMeasurements:       board.TotalReceived(),
-		Coverage:                board.Coverage(),
-		OverallCompleteness:     board.OverallCompleteness(),
-		TotalRewardPaid:         board.TotalRewardPaid(),
-		AvgRewardPerMeasurement: board.AverageRewardPerMeasurement(),
+	if p.statusDirty {
+		board := p.eng.Board()
+		openTasks := 0
+		for _, st := range p.eng.Open() {
+			if st.OpenAt(p.round) {
+				openTasks++
+			}
+		}
+		p.statusCache = wire.StatusResponse{
+			OpenTasks:               openTasks,
+			TotalMeasurements:       board.TotalReceived(),
+			Coverage:                board.Coverage(),
+			OverallCompleteness:     board.OverallCompleteness(),
+			TotalRewardPaid:         board.TotalRewardPaid(),
+			AvgRewardPerMeasurement: board.AverageRewardPerMeasurement(),
+		}
+		p.statusDirty = false
 	}
+	resp := p.statusCache
+	resp.Round = p.round
+	resp.Done = p.done
+	resp.Workers = len(p.workers)
 	p.mu.Unlock()
 	p.writeJSON(w, http.StatusOK, resp)
 }

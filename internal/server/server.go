@@ -18,6 +18,7 @@ import (
 	"paydemand/internal/incentive"
 	"paydemand/internal/reputation"
 	"paydemand/internal/selection"
+	"paydemand/internal/shard"
 	"paydemand/internal/task"
 	"paydemand/internal/wire"
 )
@@ -51,6 +52,12 @@ type Config struct {
 	// ReputationTolerance is the deviation scale used when scoring
 	// agreement (see reputation.Agreement); zero means 5.
 	ReputationTolerance float64
+	// Shards is the number of geographic regions the round engine is
+	// partitioned into (internal/shard): per-region neighbor counting
+	// runs concurrently while pricing stays global, so published rewards
+	// are byte-identical at every setting. Zero keeps the historical
+	// single engine. Negative values are rejected.
+	Shards int
 	// Planner constructs the task selection solver behind POST /v1/plan;
 	// nil means selection.Auto with default thresholds. The factory must
 	// return a fresh instance per call: solvers keep scratch between calls
@@ -79,8 +86,10 @@ type Platform struct {
 	// solves that outlive the lock pin the context with eng.HoldContext,
 	// which lets the engine recycle its round scratch (a steady-state
 	// reprice allocates only the mechanism's reward map) without an
-	// in-flight solve ever observing a mutation.
-	eng *engine.Engine
+	// in-flight solve ever observing a mutation. With cfg.Shards > 0
+	// this is the geo-sharded engine; the platform drives it
+	// identically.
+	eng engine.RoundEngine
 
 	mu      sync.Mutex
 	round   int
@@ -98,6 +107,14 @@ type Platform struct {
 	// contribs stores who uploaded what per task, for aggregation (e.g.
 	// building a noise map) and reputation scoring.
 	contribs map[task.ID][]reputation.Contribution
+	// statusDirty marks the cached board-derived status aggregates
+	// stale. /v1/status used to recompute coverage, completeness, and
+	// the open-task count — each an O(tasks) board walk — under the
+	// platform mutex on every hit; now the walk happens only after
+	// something actually changed (an accepted upload, a round advance, a
+	// reprice, a snapshot restore).
+	statusDirty bool
+	statusCache wire.StatusResponse
 }
 
 // New validates the configuration and builds the platform, publishing
@@ -133,15 +150,30 @@ func New(cfg Config) (*Platform, error) {
 	if planner == nil {
 		planner = func() selection.Algorithm { return &selection.Auto{} }
 	}
-	eng, err := engine.New(engine.Config{
-		Board:          board,
-		Mechanism:      cfg.Mechanism,
-		Area:           cfg.Area,
-		NeighborRadius: cfg.NeighborRadius,
-		// An unpriced task is not published on the wire, so it is not a
-		// planning candidate either.
-		RequirePriced: true,
-	})
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("server: shards %d, want >= 0 (0 = unsharded engine)", cfg.Shards)
+	}
+	// An unpriced task is not published on the wire, so it is not a
+	// planning candidate either (RequirePriced in both branches).
+	var eng engine.RoundEngine
+	if cfg.Shards > 0 {
+		eng, err = shard.New(shard.Config{
+			Board:          board,
+			Mechanism:      cfg.Mechanism,
+			Area:           cfg.Area,
+			NeighborRadius: cfg.NeighborRadius,
+			RequirePriced:  true,
+			Shards:         cfg.Shards,
+		})
+	} else {
+		eng, err = engine.New(engine.Config{
+			Board:          board,
+			Mechanism:      cfg.Mechanism,
+			Area:           cfg.Area,
+			NeighborRadius: cfg.NeighborRadius,
+			RequirePriced:  true,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +223,7 @@ func (p *Platform) maxRounds() int {
 // platform serves no stale prices; the error is also remembered in
 // p.repriceErr until the next successful reprice. Callers must hold p.mu.
 func (p *Platform) repriceLocked() error {
+	p.statusDirty = true
 	open := p.eng.BeginRound(p.round)
 	if len(open) == 0 {
 		p.repriceErr = nil
@@ -232,6 +265,7 @@ func (p *Platform) Advance() (round int, done bool, err error) {
 		p.done = true
 		p.eng.Clear()
 		p.repriceErr = nil
+		p.statusDirty = true
 		p.logger.Info("campaign done", "round", p.round)
 		return p.round, true, nil
 	}

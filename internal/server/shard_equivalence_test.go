@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"paydemand/internal/demand"
+	"paydemand/internal/geo"
+	"paydemand/internal/incentive"
+	"paydemand/internal/stats"
+	"paydemand/internal/task"
+	"paydemand/internal/wire"
+)
+
+// rawJSON performs one request and returns (status, body bytes): the
+// sharded-equivalence test compares platforms at the wire level, byte
+// for byte.
+func rawJSON(t *testing.T, srv *httptest.Server, method, path string, v any) (int, []byte) {
+	t.Helper()
+	var body io.Reader
+	if v != nil {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestShardedPlatformEquivalence drives a sharded and an unsharded
+// platform through the same wire-level campaign — register, round,
+// plan, submit, advance, status — and requires every response to be
+// byte-identical: the shard engine is invisible on the wire.
+func TestShardedPlatformEquivalence(t *testing.T) {
+	rng := stats.NewRNG(41)
+	area := geo.Square(1000)
+	var tasks []task.Task
+	for i := 0; i < 12; i++ {
+		tasks = append(tasks, task.Task{
+			ID:       task.ID(i + 1),
+			Location: geo.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			Deadline: 4 + rng.Intn(4),
+			Required: 2,
+		})
+	}
+	newPlatform := func(t *testing.T, shards int) *httptest.Server {
+		t.Helper()
+		scheme, err := incentive.SchemeFromBudget(500, 24, 0.5, demand.LevelMapper{N: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mech, err := incentive.NewPaperOnDemand(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(Config{
+			Tasks:          tasks,
+			Mechanism:      mech,
+			Area:           area,
+			NeighborRadius: 200,
+			Shards:         shards,
+			Logger:         discardLogger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(p)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			base := newPlatform(t, 0)
+			srv := newPlatform(t, shards)
+			// Worker start locations, deterministic per worker index so
+			// both platforms see identical registrations.
+			wrng := stats.NewRNG(87)
+			locs := make([]geo.Point, 6)
+			for i := range locs {
+				locs[i] = geo.Pt(wrng.Float64()*1000, wrng.Float64()*1000)
+			}
+			step := func(name, method, path string, v any) []byte {
+				t.Helper()
+				wantCode, want := rawJSON(t, base, method, path, v)
+				gotCode, got := rawJSON(t, srv, method, path, v)
+				if gotCode != wantCode || !bytes.Equal(got, want) {
+					t.Fatalf("%s: sharded platform diverged\ngot  %d %s\nwant %d %s",
+						name, gotCode, got, wantCode, want)
+				}
+				return got
+			}
+			for i, loc := range locs {
+				step(fmt.Sprintf("register %d", i), http.MethodPost, wire.PathRegister,
+					wire.RegisterRequest{Location: loc})
+			}
+			for round := 1; round <= 4; round++ {
+				step("round", http.MethodGet, wire.PathRound, nil)
+				for i, loc := range locs {
+					raw := step(fmt.Sprintf("plan r%d u%d", round, i), http.MethodPost, wire.PathPlan,
+						wire.PlanRequest{UserID: i + 1, Location: loc, Speed: 10, TimeBudget: 60, CostPerMeter: 0.001})
+					var plan wire.PlanResponse
+					if err := json.Unmarshal(raw, &plan); err != nil {
+						t.Fatal(err)
+					}
+					ms := make([]wire.Measurement, len(plan.Order))
+					for j, id := range plan.Order {
+						ms[j] = wire.Measurement{TaskID: id, Value: float64(100*round + i + j)}
+					}
+					step(fmt.Sprintf("submit r%d u%d", round, i), http.MethodPost, wire.PathSubmit,
+						wire.SubmitRequest{UserID: i + 1, Round: round, Measurements: ms, Location: loc})
+				}
+				step("status", http.MethodGet, wire.PathStatus, nil)
+				step("advance", http.MethodPost, wire.PathAdvance, nil)
+			}
+			step("final status", http.MethodGet, wire.PathStatus, nil)
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"paydemand/internal/demand"
+	"paydemand/internal/engine"
+	"paydemand/internal/geo"
+	"paydemand/internal/incentive"
+	"paydemand/internal/stats"
+	"paydemand/internal/task"
+)
+
+// benchWorld is one synthetic repricing workload. The area scales with
+// the population (constant density of one user per 1000 m^2), so the
+// neighbor count per task — and with it the per-task query cost — stays
+// fixed while the user set grows; what the benchmark then measures is
+// how partition, grid build, and counting scale with the population.
+type benchWorld struct {
+	board *task.Board
+	mech  incentive.Mechanism
+	area  geo.Rect
+	users []geo.Point
+}
+
+const benchRadius = 250.0
+
+func newBenchWorld(b *testing.B, users, tasks int) benchWorld {
+	b.Helper()
+	side := math.Sqrt(float64(users) * 1000)
+	area := geo.Square(side)
+	rng := stats.NewRNG(int64(1000*users + tasks))
+	ts := make([]task.Task, tasks)
+	for i := range ts {
+		ts[i] = task.Task{
+			ID:       task.ID(i + 1),
+			Location: geo.Pt(rng.Uniform(0, side), rng.Uniform(0, side)),
+			Deadline: 50,
+			Required: 20,
+		}
+	}
+	board, err := task.NewBoard(ts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := 10 * float64(board.TotalRequired())
+	scheme, err := incentive.SchemeFromBudget(budget, board.TotalRequired(), 0.5, demand.LevelMapper{N: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mech, err := incentive.NewPaperOnDemand(scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	locs := make([]geo.Point, users)
+	for i := range locs {
+		locs[i] = geo.Pt(rng.Uniform(0, side), rng.Uniform(0, side))
+	}
+	return benchWorld{board: board, mech: mech, area: area, users: locs}
+}
+
+// BenchmarkShardReprice measures one full round repricing — partition,
+// per-region grid build, neighbor counting, global pricing — across a
+// shards x users x tasks grid, with the unsharded engine.Engine as the
+// baseline. Both run with DisableContext (the O(tasks^2) shared solver
+// context would dominate the 10k-task cells and is bit-identical either
+// way; see engine.Config), so the numbers isolate the geometric phase
+// the shard engine parallelizes. Workers defaults to one per GOMAXPROCS.
+func BenchmarkShardReprice(b *testing.B) {
+	for _, users := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		for _, tasks := range []int{100, 1_000, 10_000} {
+			name := fmt.Sprintf("users=%d/tasks=%d", users, tasks)
+			b.Run("unsharded/"+name, func(b *testing.B) {
+				w := newBenchWorld(b, users, tasks)
+				eng, err := engine.New(engine.Config{
+					Board:          w.board,
+					Mechanism:      w.mech,
+					Area:           w.area,
+					NeighborRadius: benchRadius,
+					DisableContext: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.BeginRound(1)
+					if err := eng.Reprice(w.users); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			for _, shards := range []int{1, 4, 16} {
+				b.Run(fmt.Sprintf("shards=%d/%s", shards, name), func(b *testing.B) {
+					w := newBenchWorld(b, users, tasks)
+					eng, err := New(Config{
+						Board:          w.board,
+						Mechanism:      w.mech,
+						Area:           w.area,
+						NeighborRadius: benchRadius,
+						DisableContext: true,
+						Shards:         shards,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						eng.BeginRound(1)
+						if err := eng.Reprice(w.users); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"math"
+
+	"paydemand/internal/geo"
+)
+
+// factor splits R regions into a cols x rows grid: rows is the largest
+// divisor of R no greater than sqrt(R) (the most square factorization),
+// with the larger factor laid along the area's longer axis so regions
+// stay as close to square — and their boundary-to-area ratio, which is
+// what halo duplication costs, as small — as possible.
+func factor(r int, area geo.Rect) (cols, rows int) {
+	small := 1
+	for d := 1; d*d <= r; d++ {
+		if r%d == 0 {
+			small = d
+		}
+	}
+	big := r / small
+	if area.Width() >= area.Height() {
+		return big, small
+	}
+	return small, big
+}
+
+// regionRect returns the owned rectangle of the region at (col, row).
+// The far edges of the last column and row are pinned to the area bounds
+// so float rounding cannot leave a sliver of the area unowned.
+func (s *Engine) regionRect(col, row int) geo.Rect {
+	a := s.cfg.Area
+	r := geo.Rect{
+		Min: geo.Point{X: a.Min.X + float64(col)*s.cellW, Y: a.Min.Y + float64(row)*s.cellH},
+		Max: geo.Point{X: a.Min.X + float64(col+1)*s.cellW, Y: a.Min.Y + float64(row+1)*s.cellH},
+	}
+	if col == s.cols-1 {
+		r.Max.X = a.Max.X
+	}
+	if row == s.rows-1 {
+		r.Max.Y = a.Max.Y
+	}
+	return r
+}
+
+// colAt maps an x coordinate to its (clamped) region column. Out-of-area
+// coordinates clamp to the edge columns, mirroring geo.GridIndex's
+// bucketing of out-of-bounds points; exactness never depends on the
+// mapping (see the package comment's halo invariant).
+func (s *Engine) colAt(x float64) int {
+	return clampInt(int(math.Floor((x-s.cfg.Area.Min.X)/s.cellW)), 0, s.cols-1)
+}
+
+// rowAt maps a y coordinate to its (clamped) region row.
+func (s *Engine) rowAt(y float64) int {
+	return clampInt(int(math.Floor((y-s.cfg.Area.Min.Y)/s.cellH)), 0, s.rows-1)
+}
+
+// ownerOf maps a location to the region index owning it.
+func (s *Engine) ownerOf(p geo.Point) int {
+	return s.rowAt(p.Y)*s.cols + s.colAt(p.X)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

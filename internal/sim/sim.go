@@ -12,6 +12,7 @@ import (
 	"paydemand/internal/metrics"
 	"paydemand/internal/mobility"
 	"paydemand/internal/selection"
+	"paydemand/internal/shard"
 	"paydemand/internal/stats"
 	"paydemand/internal/task"
 	"paydemand/internal/workload"
@@ -56,7 +57,7 @@ type Simulation struct {
 	cfg      Config
 	scenario workload.Scenario
 	board    *task.Board
-	eng      *engine.Engine
+	eng      engine.RoundEngine
 	users    []*agent.User
 	mech     incentive.Mechanism
 	alg      selection.Algorithm
@@ -152,17 +153,32 @@ func NewFromScenario(cfg Config, sc workload.Scenario, seed int64) (*Simulation,
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.New(engine.Config{
-		Board:          board,
-		Mechanism:      mech,
-		Area:           sc.Area,
-		NeighborRadius: cfg.NeighborRadius,
-		DisableContext: cfg.DisableRoundContext,
-		// Historical simulator behavior: unpriced open tasks stay in
-		// candidate sets at reward 0 (the candidate count feeds Auto's
-		// algorithm dispatch, so dropping them would change results).
-		RequirePriced: false,
-	})
+	// Historical simulator behavior either way: unpriced open tasks stay
+	// in candidate sets at reward 0 (the candidate count feeds Auto's
+	// algorithm dispatch, so dropping them would change results). With
+	// Shards > 0 the geo-sharded engine replaces the single engine; its
+	// output is byte-identical at every shard count (DESIGN.md sec. 14).
+	var eng engine.RoundEngine
+	if cfg.Shards > 0 {
+		eng, err = shard.New(shard.Config{
+			Board:          board,
+			Mechanism:      mech,
+			Area:           sc.Area,
+			NeighborRadius: cfg.NeighborRadius,
+			DisableContext: cfg.DisableRoundContext,
+			RequirePriced:  false,
+			Shards:         cfg.Shards,
+		})
+	} else {
+		eng, err = engine.New(engine.Config{
+			Board:          board,
+			Mechanism:      mech,
+			Area:           sc.Area,
+			NeighborRadius: cfg.NeighborRadius,
+			DisableContext: cfg.DisableRoundContext,
+			RequirePriced:  false,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -402,11 +418,17 @@ func (s *Simulation) runUsers(k int, perm []int, obs Observer, rs *metrics.Round
 		if plan.Empty() {
 			continue
 		}
-		for _, id := range plan.Order {
-			if _, _, err := s.eng.Commit(u.ID, id); err != nil {
-				return fmt.Errorf("user %d task %d: %w", u.ID, id, err)
-			}
+		// CommitPlan gives the sharded engine its two-phase cross-shard
+		// commit (all owning regions locked for the whole route); on the
+		// single engine it is the same per-task loop as before. Either
+		// way n tasks committed means ids[:n] succeeded and, on error,
+		// ids[n] is the task that failed.
+		n, err := s.eng.CommitPlan(u.ID, plan.Order)
+		for _, id := range plan.Order[:n] {
 			u.MarkDone(id)
+		}
+		if err != nil {
+			return fmt.Errorf("user %d task %d: %w", u.ID, plan.Order[n], err)
 		}
 		u.AddProfit(plan.Profit)
 		rs.RoundProfit += plan.Profit
