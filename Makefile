@@ -6,7 +6,7 @@
 STATICCHECK_VERSION := 2025.1.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test race cover lint fmt-check vet paylint staticcheck govulncheck fuzz-smoke bench-smoke bench-shard ci
+.PHONY: all build test race cover lint fmt-check vet paylint staticcheck govulncheck fuzz-smoke bench-smoke bench-shard bench-wire loadgen-smoke ci
 
 all: build test
 
@@ -17,7 +17,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/experiments/ ./internal/sim/ ./internal/selection/ ./internal/server/ ./internal/engine/ ./internal/shard/
+	go test -race ./internal/experiments/ ./internal/sim/ ./internal/selection/ ./internal/server/ ./internal/engine/ ./internal/shard/ ./internal/client/ ./cmd/loadgen/
 
 # Aggregate coverage across every package, with a function summary.
 cover:
@@ -59,16 +59,30 @@ lint-tools:
 
 fuzz-smoke:
 	go test -run FuzzSolverEquivalence -fuzz FuzzSolverEquivalence -fuzztime 30s ./internal/selection/
+	go test -run FuzzBinaryRoundTrip -fuzz FuzzBinaryRoundTrip -fuzztime 15s ./internal/wire/binary/
+	go test -run FuzzBinaryDecodeHardened -fuzz FuzzBinaryDecodeHardened -fuzztime 15s ./internal/wire/binary/
+
+# A short closed-loop run against a self-hosted platform in each codec:
+# at least one round must complete with zero protocol errors (the
+# TestLoadgenSmoke gate, runnable standalone too).
+loadgen-smoke:
+	go run ./cmd/loadgen -workers 25 -tasks 10 -codec json -duration 2s -min-rounds 3 -advance-after 100ms
+	go run ./cmd/loadgen -workers 25 -tasks 10 -codec tlv -duration 2s -min-rounds 3 -advance-after 100ms
 
 # Runs every benchmark once, including BenchmarkBeam (the dispatch-tuning
 # grid recorded in BENCH_beam.json) and BenchmarkShardReprice (the
 # geo-sharded engine grid recorded in BENCH_shard.json).
 bench-smoke:
-	go test -run xxx -bench . -benchtime 1x -benchmem ./internal/selection/ ./internal/sim/ ./internal/experiments/ ./internal/engine/ ./internal/shard/
+	go test -run xxx -bench . -benchtime 1x -benchmem ./internal/selection/ ./internal/sim/ ./internal/experiments/ ./internal/engine/ ./internal/shard/ ./internal/wire/binary/
 
 # The full sharded-reprice grid at recording fidelity; the numbers at the
 # repo root (BENCH_shard.json) came from this command.
 bench-shard:
 	go test -run xxx -bench BenchmarkShardReprice -benchtime 10x -benchmem ./internal/shard/
 
-ci: lint build test race fuzz-smoke bench-smoke
+# The wire-codec grid at recording fidelity; the numbers at the repo root
+# (BENCH_wire.json) came from this command plus a pair of loadgen runs.
+bench-wire:
+	go test -run xxx -bench . -benchtime 1000x -benchmem ./internal/wire/binary/
+
+ci: lint build test race fuzz-smoke bench-smoke loadgen-smoke

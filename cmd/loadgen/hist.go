@@ -1,0 +1,115 @@
+package main
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// hist is an HDR-style fixed-bucket latency histogram: exact buckets
+// below 64, then 64 logarithmic sub-buckets per power of two, giving
+// ≤ ~1.6% relative error at any magnitude. Recording is a single atomic
+// increment, so thousands of workers share one histogram without locks.
+//
+// Values are microseconds; the bucket layout covers [0, 2^63).
+type hist struct {
+	counts [64 * 59]atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 64 {
+		return int(u)
+	}
+	shift := bits.Len64(u) - 7
+	// shift*64 + mantissa, mantissa in [64,128): contiguous with the
+	// exact region because shift 0 yields the identity for [64,128).
+	return shift<<6 + int(u>>uint(shift))
+}
+
+// bucketLow is the smallest value mapping to bucket i (inverse of
+// bucketOf up to sub-bucket resolution).
+func bucketLow(i int) int64 {
+	if i < 128 {
+		return int64(i)
+	}
+	shift := i>>6 - 1
+	return int64(i&63|64) << uint(shift)
+}
+
+// observe records one value.
+func (h *hist) observe(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// count returns the number of recorded values.
+func (h *hist) count() int64 { return h.n.Load() }
+
+// mean returns the arithmetic mean, or 0 when empty.
+func (h *hist) mean() float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// quantile returns the lower bound of the bucket holding the q-th
+// quantile (0 < q <= 1), or 0 when empty.
+func (h *hist) quantile(q float64) int64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// summary is the JSON-facing digest of one histogram.
+type summary struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  int64   `json:"p50_us"`
+	P95Us  int64   `json:"p95_us"`
+	P99Us  int64   `json:"p99_us"`
+	MaxUs  int64   `json:"max_us"`
+}
+
+// summarize digests the histogram.
+func (h *hist) summarize() summary {
+	return summary{
+		Count:  h.count(),
+		MeanUs: h.mean(),
+		P50Us:  h.quantile(0.50),
+		P95Us:  h.quantile(0.95),
+		P99Us:  h.quantile(0.99),
+		MaxUs:  h.max.Load(),
+	}
+}

@@ -47,6 +47,7 @@ func run(ctx context.Context, args []string) error {
 		timeBudget  = fs.Float64("time-budget", 600, "per-round time budget seconds")
 		algorithm   = fs.String("algorithm", "auto", "selection algorithm: dp | greedy | auto | greedy+2opt | beam")
 		poll        = fs.Duration("poll", 200*time.Millisecond, "round poll interval")
+		codec       = fs.String("codec", "json", "wire codec for the hot endpoints: json | tlv")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,9 +55,20 @@ func run(ctx context.Context, args []string) error {
 	if *count < 1 {
 		return fmt.Errorf("count %d, want >= 1", *count)
 	}
+	var codecOpt client.Codec
+	switch *codec {
+	case "json":
+		codecOpt = client.CodecJSON
+	case "tlv":
+		codecOpt = client.CodecTLV
+	default:
+		return fmt.Errorf("unknown codec %q", *codec)
+	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	c := client.New(*platformURL, nil)
+	c := client.New(*platformURL, nil,
+		client.WithCodec(codecOpt),
+		client.WithMaxIdleConnsPerHost(*count))
 	rng := stats.NewRNG(*seed)
 
 	newAlgorithm := func() (selection.Algorithm, error) {

@@ -47,7 +47,22 @@ type (
 	ReputationTracker = reputation.Tracker
 	// ReputationContribution pairs a contributor with its reading.
 	ReputationContribution = reputation.Contribution
+	// ClientOption configures a Client (codec, transport tuning).
+	ClientOption = client.Option
+	// ClientCodec selects the wire encoding of the hot endpoints.
+	ClientCodec = client.Codec
 )
+
+// Wire codecs for the hot endpoints.
+const (
+	// CodecJSON is the default JSON protocol.
+	CodecJSON = client.CodecJSON
+	// CodecTLV is the compact binary protocol (internal/wire/binary).
+	CodecTLV = client.CodecTLV
+)
+
+// ClientWithCodec selects the wire codec for the hot endpoints.
+func ClientWithCodec(c ClientCodec) ClientOption { return client.WithCodec(c) }
 
 // NewReputationTracker builds a tracker; zero arguments select the
 // defaults (alpha 0.2, initial score 0.5).
@@ -74,9 +89,10 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 }
 
 // NewClient creates a client for the platform at baseURL. httpClient may
-// be nil for a sensible default.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
-	return client.New(baseURL, httpClient)
+// be nil for a sensible default. Options select the wire codec and tune
+// the default transport (see ClientWithCodec).
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
+	return client.New(baseURL, httpClient, opts...)
 }
 
 // NewWorker registers a worker with the platform and returns its runner.

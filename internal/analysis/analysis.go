@@ -24,6 +24,9 @@
 //     //paylint:aliases directive documents the contract.
 //   - wirejson: serialized structs must tag every exported field so an
 //     untagged field addition cannot silently change output bytes.
+//   - wirebin: the binary codec's TLV tag tables must cover exactly the
+//     json-serialized fields of every codec-covered struct, so a wire
+//     struct cannot grow a field the hand-written codec silently drops.
 //   - directive: every //paylint: suppression directive is well-formed
 //     and attached to a node it can actually suppress.
 package analysis
@@ -135,5 +138,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 
 // All returns the full paylint suite in the order it is run.
 func All() []*Analyzer {
-	return []*Analyzer{Mapiter, Detrand, ScratchAlias, WireJSON, Directive}
+	return []*Analyzer{Mapiter, Detrand, ScratchAlias, WireJSON, WireBin, Directive}
 }

@@ -45,6 +45,10 @@ func TestWireJSONOptIn(t *testing.T) {
 	analysistest.Run(t, analysis.WireJSON, "wirejson_optin", "paydemand/internal/metrics")
 }
 
+func TestWireBin(t *testing.T) {
+	analysistest.Run(t, analysis.WireBin, "wirebin", "paydemand/internal/wire/binary")
+}
+
 func TestDirective(t *testing.T) {
 	analysistest.Run(t, analysis.Directive, "directive", "paydemand/internal/selection")
 }
@@ -52,7 +56,7 @@ func TestDirective(t *testing.T) {
 // TestSuiteNames pins the suite composition: CI documentation and the
 // -only flag both refer to analyzers by these names.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"mapiter", "detrand", "scratchalias", "wirejson", "directive"}
+	want := []string{"mapiter", "detrand", "scratchalias", "wirejson", "wirebin", "directive"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

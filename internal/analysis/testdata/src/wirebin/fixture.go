@@ -1,0 +1,59 @@
+// Fixture for the wirebin analyzer: a TLV tag table cross-checked
+// against the structs it claims to cover. Violations are drift between
+// the json-serialized field set and the table; accepted cases show full
+// coverage and the json:"-" exclusion.
+package wirebin
+
+// Point is fully covered.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Covered shows the exclusion rule: Debug is json:"-", so it needs no
+// TLV entry (and must not have one).
+type Covered struct {
+	Round int    `json:"round"`
+	Done  bool   `json:"done"`
+	Debug string `json:"-"`
+}
+
+// Grown gained a field after the codec was written.
+type Grown struct {
+	ID    int     `json:"id"`
+	Extra float64 `json:"extra"`
+}
+
+// Renamed had a field renamed without updating the table.
+type Renamed struct {
+	Value float64 `json:"value"`
+}
+
+// Collided assigns the same TLV tag twice.
+type Collided struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+// Leaky still lists its diagnostic field in the table.
+type Leaky struct {
+	N     int `json:"n"`
+	Debug int `json:"-"`
+}
+
+// Tags is the machine-checkable face of the hand-written codec.
+var Tags = map[string]map[string]uint8{
+	"Point":   {"x": 1, "y": 2},
+	"Covered": {"round": 1, "done": 2},
+	"Grown":   {"id": 1},                 // want `Grown.Extra \(json "extra"\) has no TLV tag entry`
+	"Renamed": {"value": 1, "reward": 2}, // want `Tags entry Renamed.reward matches no json field`
+	"Collided": {
+		"a": 1,
+		"b": 1, // want `TLV tag 1 of Collided.b already used by field "a"`
+	},
+	"Leaky": {
+		"n":     1,
+		"Debug": 2, // want `Leaky.Debug is json:"-" \(not serialized\) but has a TLV tag entry`
+	},
+	"Vanished": {"x": 1}, // want `Tags entry "Vanished" names no struct`
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// WireBin keeps the TLV codec honest. The binary wire package
+// (internal/wire/binary) encodes each hot protocol message with
+// hand-written AppendX/DecodeX functions and publishes its field→tag
+// assignments in a machine-checkable table:
+//
+//	var Tags = map[string]map[string]uint8{
+//	    "RoundInfo": {"round": 1, "tasks": 2, ...},
+//	}
+//
+// A field added to a wire struct without touching the codec would be
+// carried by JSON but silently dropped by TLV, breaking the protocol's
+// codec-equivalence guarantee. This analyzer cross-checks every struct
+// named in a Tags table against its actual definition:
+//
+//   - every exported, json-serialized field must have a TLV tag entry
+//     (under its json name, the table's key space);
+//   - every table entry must name a field that still exists (no stale
+//     entries after a rename);
+//   - no two fields of one struct may share a TLV tag value;
+//   - fields excluded from the wire format with json:"-" must not have
+//     TLV entries either.
+//
+// The analyzer runs wherever a top-level `Tags` variable of that shape
+// is declared, so the codec package cannot opt out by moving the table.
+var WireBin = &Analyzer{
+	Name: "wirebin",
+	Doc: "require the TLV codec's tag table to cover exactly the " +
+		"json-serialized fields of every codec-covered struct",
+	Run: runWireBin,
+}
+
+func runWireBin(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "Tags" || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := tagTableLit(pass, vs.Values[i]); ok {
+						checkTagTable(pass, lit)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// tagTableLit returns the composite literal when expr is a
+// map[string]map[string]uint8 literal.
+func tagTableLit(pass *Pass, expr ast.Expr) (*ast.CompositeLit, bool) {
+	lit, ok := expr.(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return nil, false
+	}
+	outer, ok := tv.Type.Underlying().(*types.Map)
+	if !ok || !types.Identical(outer.Key(), types.Typ[types.String]) {
+		return nil, false
+	}
+	inner, ok := outer.Elem().Underlying().(*types.Map)
+	if !ok || !types.Identical(inner.Key(), types.Typ[types.String]) ||
+		!types.Identical(inner.Elem().Underlying(), types.Typ[types.Uint8]) {
+		return nil, false
+	}
+	return lit, true
+}
+
+// checkTagTable cross-checks one Tags literal against the named structs.
+func checkTagTable(pass *Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		structName, ok := stringKey(pass, kv.Key)
+		if !ok {
+			continue
+		}
+		st := lookupStruct(pass, structName)
+		if st == nil {
+			pass.Reportf(kv.Key.Pos(), "Tags entry %q names no struct in this package or its direct imports", structName)
+			continue
+		}
+		inner, ok := kv.Value.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		checkStructEntry(pass, structName, st, inner)
+	}
+}
+
+// checkStructEntry compares one struct's table entries with its fields.
+func checkStructEntry(pass *Pass, structName string, st *types.Struct, lit *ast.CompositeLit) {
+	// The table's view: json name → position of its entry, plus the tag
+	// values for duplicate detection.
+	entries := make(map[string]ast.Expr, len(lit.Elts))
+	tagValues := make(map[int64]string, len(lit.Elts))
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		jsonName, ok := stringKey(pass, kv.Key)
+		if !ok {
+			continue
+		}
+		if _, dup := entries[jsonName]; dup {
+			pass.Reportf(kv.Key.Pos(), "duplicate Tags entry %s.%s", structName, jsonName)
+			continue
+		}
+		entries[jsonName] = kv.Key
+		if tv, ok := pass.TypesInfo.Types[kv.Value]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				if prev, taken := tagValues[v]; taken {
+					pass.Reportf(kv.Value.Pos(), "TLV tag %d of %s.%s already used by field %q",
+						v, structName, jsonName, prev)
+				}
+				tagValues[v] = jsonName
+			}
+		}
+	}
+
+	// The struct's view: every serialized exported field must be in the
+	// table; json:"-" fields must not be.
+	covered := make(map[string]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() {
+			continue
+		}
+		jsonName := jsonNameOf(field, st.Tag(i))
+		if jsonName == "-" {
+			if pos, present := entries[field.Name()]; present {
+				pass.Reportf(pos.Pos(), "%s.%s is json:\"-\" (not serialized) but has a TLV tag entry",
+					structName, field.Name())
+				delete(entries, field.Name())
+			}
+			continue
+		}
+		covered[jsonName] = true
+		if _, present := entries[jsonName]; !present {
+			pass.Reportf(lit.Pos(), "%s.%s (json %q) has no TLV tag entry: extend the binary codec and Tags table",
+				structName, field.Name(), jsonName)
+		}
+	}
+	for jsonName, key := range entries {
+		if !covered[jsonName] {
+			pass.Reportf(key.Pos(), "Tags entry %s.%s matches no json field of the struct (stale after a rename?)",
+				structName, jsonName)
+		}
+	}
+}
+
+// jsonNameOf returns the name a field serializes under: the json tag's
+// name part, or the Go field name when the tag has none.
+func jsonNameOf(field *types.Var, rawTag string) string {
+	tag := reflect.StructTag(rawTag).Get("json")
+	name, _, _ := strings.Cut(tag, ",")
+	if name == "" {
+		return field.Name()
+	}
+	return name
+}
+
+// stringKey evaluates a map key expression to its constant string value.
+func stringKey(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// lookupStruct resolves a struct name in the current package, then in its
+// direct imports (the codec package tables reference internal/wire
+// structs).
+func lookupStruct(pass *Pass, name string) *types.Struct {
+	scopes := []*types.Scope{pass.Pkg.Scope()}
+	for _, imp := range pass.Pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, scope := range scopes {
+		obj := scope.Lookup(name)
+		if obj == nil {
+			continue
+		}
+		if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+			return st
+		}
+	}
+	return nil
+}

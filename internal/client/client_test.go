@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -430,5 +431,153 @@ func TestWorkerCustomAlgorithm(t *testing.T) {
 	}
 	if w.Location().Equal(geo.Pt(250, 250)) {
 		t.Error("worker did not move")
+	}
+}
+
+func TestClientTLVCodec(t *testing.T) {
+	// The same conversation over both codecs must observe the same
+	// platform state.
+	_, srv := startPlatform(t, defaultTasks())
+	ctx := context.Background()
+	jsonC := New(srv.URL, srv.Client())
+	tlvC := New(srv.URL, srv.Client(), WithCodec(CodecTLV))
+
+	viaJSON, err := jsonC.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTLV, err := tlvC.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaJSON, viaTLV) {
+		t.Fatalf("round: json %+v != tlv %+v", viaJSON, viaTLV)
+	}
+
+	id, err := tlvC.Register(ctx, geo.Pt(250, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tlvC.Plan(ctx, wire.PlanRequest{
+		UserID:       id,
+		Location:     geo.Pt(250, 250),
+		Speed:        2,
+		TimeBudget:   600,
+		CostPerMeter: 0.002,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Order) == 0 {
+		t.Fatal("empty TLV plan")
+	}
+	sub := wire.SubmitRequest{UserID: id, Round: plan.Round, Location: geo.Pt(250, 250)}
+	for _, taskID := range plan.Order {
+		sub.Measurements = append(sub.Measurements, wire.Measurement{TaskID: taskID, Value: 55})
+	}
+	resp, err := tlvC.Submit(ctx, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(plan.Order) || resp.TotalPaid <= 0 {
+		t.Fatalf("TLV submit: %+v", resp)
+	}
+}
+
+func TestClientRoundKnownShortCircuit(t *testing.T) {
+	_, srv := startPlatform(t, defaultTasks())
+	ctx := context.Background()
+	for _, codec := range []Codec{CodecJSON, CodecTLV} {
+		c := New(srv.URL, srv.Client(), WithCodec(codec))
+		full, err := c.Round(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Unchanged || len(full.Tasks) == 0 {
+			t.Fatalf("codec %d: full fetch: %+v", codec, full)
+		}
+		hit, err := c.RoundKnown(ctx, full.Round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit.Unchanged || len(hit.Tasks) != 0 || hit.Round != full.Round {
+			t.Errorf("codec %d: known=current: %+v, want unchanged", codec, hit)
+		}
+	}
+}
+
+func TestClientRoundIntoReusesCapacity(t *testing.T) {
+	_, srv := startPlatform(t, defaultTasks())
+	ctx := context.Background()
+	c := New(srv.URL, srv.Client(), WithCodec(CodecTLV))
+	var info wire.RoundInfo
+	if err := c.RoundInto(ctx, 0, &info); err != nil {
+		t.Fatal(err)
+	}
+	first := cap(info.Tasks)
+	if first == 0 {
+		t.Fatal("no tasks decoded")
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.RoundInto(ctx, 0, &info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cap(info.Tasks) != first {
+		t.Errorf("tasks capacity %d -> %d; repolls should reuse", first, cap(info.Tasks))
+	}
+}
+
+func TestWorkerTLVFullCampaign(t *testing.T) {
+	// The whole worker loop — register, poll with known round, plan
+	// locally, submit — over the binary codec.
+	platform, srv := startPlatform(t, defaultTasks())
+	c := New(srv.URL, srv.Client(), WithCodec(CodecTLV))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	w, err := NewWorker(ctx, c, WorkerConfig{
+		Start:        geo.Pt(250, 250),
+		PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			time.Sleep(20 * time.Millisecond)
+			adv, err := c.Advance(ctx)
+			if err != nil || adv.Done {
+				return
+			}
+		}
+	}()
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if platform.Board().Get(1).Received() == 0 {
+		t.Error("no measurements over TLV")
+	}
+	if w.Profit() <= 0 {
+		t.Errorf("profit = %v", w.Profit())
+	}
+}
+
+func TestClientDefaultTransportTuned(t *testing.T) {
+	c := New("http://localhost:0", nil, WithMaxIdleConnsPerHost(1234))
+	tr, ok := c.http.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default transport is %T", c.http.Transport)
+	}
+	if tr.MaxIdleConnsPerHost != 1234 || tr.MaxIdleConns != 1234 {
+		t.Errorf("idle conns = %d/%d, want 1234", tr.MaxIdleConnsPerHost, tr.MaxIdleConns)
+	}
+	if c.http.Timeout == 0 {
+		t.Error("default client has no timeout")
+	}
+	// An explicit client is used as-is.
+	own := &http.Client{}
+	if got := New("http://localhost:0", own, WithMaxIdleConnsPerHost(9)); got.http != own {
+		t.Error("explicit http.Client replaced")
 	}
 }

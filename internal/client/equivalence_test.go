@@ -1,0 +1,76 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"testing"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/wire"
+)
+
+// TestCodecEquivalence is the protocol's core guarantee: a campaign
+// driven entirely over TLV produces byte-identical outcomes to the same
+// campaign over JSON. Workers step in a fixed order with a deterministic
+// sensor, rounds advance synchronously, and the final /v1/status bodies
+// (always JSON, the canonical record) are compared byte for byte — so
+// any codec divergence in rewards, demand levels, or aggregation inputs
+// shows up as a diff, not a tolerance.
+func TestCodecEquivalence(t *testing.T) {
+	runCampaign := func(codec Codec) []byte {
+		t.Helper()
+		_, srv := startPlatform(t, defaultTasks())
+		c := New(srv.URL, srv.Client(), WithCodec(codec))
+		ctx := context.Background()
+
+		sensor := func(taskID int64, loc geo.Point) float64 {
+			return float64(taskID)*1.5 + loc.X*0.01 + loc.Y*0.003
+		}
+		starts := []geo.Point{geo.Pt(150, 150), geo.Pt(450, 350), geo.Pt(2700, 2700)}
+		workers := make([]*Worker, len(starts))
+		for i, start := range starts {
+			w, err := NewWorker(ctx, c, WorkerConfig{Start: start, Sensor: sensor})
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers[i] = w
+		}
+
+		for round := 0; round < 20; round++ {
+			for _, w := range workers {
+				if _, err := w.Step(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			adv, err := c.Advance(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if adv.Done {
+				break
+			}
+		}
+
+		resp, err := srv.Client().Get(srv.URL + wire.PathStatus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status: %d: %s", resp.StatusCode, body)
+		}
+		return body
+	}
+
+	viaJSON := runCampaign(CodecJSON)
+	viaTLV := runCampaign(CodecTLV)
+	if !bytes.Equal(viaJSON, viaTLV) {
+		t.Errorf("campaign outcomes differ by codec:\n json: %s\n tlv:  %s", viaJSON, viaTLV)
+	}
+}

@@ -229,20 +229,22 @@ func (w *Worker) withRetry(ctx context.Context, fn func() error) error {
 }
 
 // awaitNewRound polls until the platform publishes a round the worker has
-// not acted in, or the campaign ends. Transient fetch failures are
+// not acted in, or the campaign ends. Steady-state polls send the last
+// seen round so the platform can answer with a tiny Unchanged response
+// instead of re-serialising the task list. Transient fetch failures are
 // retried.
 func (w *Worker) awaitNewRound(ctx context.Context) (wire.RoundInfo, error) {
 	for {
 		var info wire.RoundInfo
 		err := w.withRetry(ctx, func() error {
 			var rerr error
-			info, rerr = w.client.Round(ctx)
+			info, rerr = w.client.RoundKnown(ctx, w.lastSeen)
 			return rerr
 		})
 		if err != nil {
 			return wire.RoundInfo{}, fmt.Errorf("worker %d: round: %w", w.id, err)
 		}
-		if info.Done || info.Round > w.lastSeen {
+		if !info.Unchanged && (info.Done || info.Round > w.lastSeen) {
 			return info, nil
 		}
 		select {

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+
+	"paydemand/internal/wire/binary"
+)
+
+// Content negotiation for the hot endpoints (/v1/round, /v1/plan,
+// /v1/submit): a request whose Accept header names the TLV content type
+// gets a TLV response body, and a request body whose Content-Type names
+// it is decoded as TLV. Everything else — including every error body and
+// the cached /v1/status snapshot — stays JSON, the protocol's default and
+// its debugging surface. TLV responses encode into recycled buffers
+// (binary.GetBuffer), so a steady-state hit allocates no transport bytes.
+
+// acceptsTLV reports whether the client asked for a TLV response.
+func acceptsTLV(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), binary.ContentType)
+}
+
+// contentIsTLV reports whether the request body is TLV-encoded.
+func contentIsTLV(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), binary.ContentType)
+}
+
+// writeRaw writes an already encoded body with the given content type.
+func (p *Platform) writeRaw(w http.ResponseWriter, status int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		p.logger.Error("write response", "err", err)
+	}
+}
+
+// errBodyTooLarge rejects oversized TLV request bodies.
+var errBodyTooLarge = errors.New("request body exceeds limit")
+
+// readBody reads a bounded request body into a recycled buffer. The
+// caller must return the buffer with binary.PutBuffer once the decoded
+// message no longer references it (the TLV decoders copy strings and
+// decode scalars by value, so the decoded message never aliases it).
+func readBody(r *http.Request) (*[]byte, error) {
+	buf := binary.GetBuffer()
+	b := *buf
+	lr := io.LimitReader(r.Body, maxBodyBytes+1)
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := lr.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			*buf = b
+			binary.PutBuffer(buf)
+			return nil, err
+		}
+	}
+	*buf = b
+	if len(b) > maxBodyBytes {
+		binary.PutBuffer(buf)
+		return nil, errBodyTooLarge
+	}
+	return buf, nil
+}

@@ -13,6 +13,7 @@ import (
 	"paydemand/internal/reputation"
 	"paydemand/internal/task"
 	"paydemand/internal/wire"
+	"paydemand/internal/wire/binary"
 )
 
 // maxBodyBytes bounds request bodies; crowdsensing uploads are small.
@@ -67,22 +68,65 @@ func (p *Platform) handleRegister(w http.ResponseWriter, r *http.Request) {
 // is reported as an error rather than served as an empty task list: the
 // platform has no prices, which is an operational fault, not a finished
 // campaign.
+//
+// A poller that already holds the current round's prices says so with the
+// X-Known-Round header (or ?known= for curl debugging) and gets a tiny
+// Unchanged response instead of the full task list — steady-state polling
+// between advances costs O(1) in both codecs. The short-circuit never
+// fires on a done campaign (the worker must see Done to exit) or a failed
+// reprice.
 func (p *Platform) handleRound(w http.ResponseWriter, r *http.Request) {
+	known := 0
+	if v := r.Header.Get(wire.HeaderKnownRound); v != "" {
+		known, _ = strconv.Atoi(v)
+	} else if r.URL.RawQuery != "" {
+		if v := r.URL.Query().Get("known"); v != "" {
+			known, _ = strconv.Atoi(v)
+		}
+	}
 	p.mu.Lock()
 	if err := p.repriceErr; err != nil {
 		p.mu.Unlock()
 		p.writeError(w, http.StatusInternalServerError, "reprice failed: %v", err)
 		return
 	}
+	if known > 0 && known == p.round && !p.done {
+		round := p.round
+		p.mu.Unlock()
+		p.writeRoundInfo(w, r, wire.RoundInfo{Round: round, Unchanged: true})
+		return
+	}
 	info := p.roundInfoLocked()
 	p.mu.Unlock()
+	p.writeRoundInfo(w, r, info)
+}
+
+// writeRoundInfo writes a round response in the negotiated codec.
+func (p *Platform) writeRoundInfo(w http.ResponseWriter, r *http.Request, info wire.RoundInfo) {
+	if acceptsTLV(r) {
+		buf := binary.GetBuffer()
+		*buf = binary.AppendRoundInfo((*buf)[:0], &info)
+		p.writeRaw(w, http.StatusOK, binary.ContentType, *buf)
+		binary.PutBuffer(buf)
+		return
+	}
 	p.writeJSON(w, http.StatusOK, info)
 }
 
 // handleSubmit accepts a worker's measurements for the current round.
 func (p *Platform) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req wire.SubmitRequest
-	if err := decode(r, &req); err != nil {
+	if contentIsTLV(r) {
+		body, err := readBody(r)
+		if err == nil {
+			err = binary.DecodeSubmitRequest(*body, &req)
+			binary.PutBuffer(body)
+		}
+		if err != nil {
+			p.writeError(w, http.StatusBadRequest, "bad submit body: %v", err)
+			return
+		}
+	} else if err := decode(r, &req); err != nil {
 		p.writeError(w, http.StatusBadRequest, "bad submit body: %v", err)
 		return
 	}
@@ -144,6 +188,13 @@ func (p *Platform) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	p.logger.Info("submission",
 		"user_id", req.UserID, "round", p.round,
 		"uploaded", len(req.Measurements), "paid", resp.TotalPaid)
+	if acceptsTLV(r) {
+		buf := binary.GetBuffer()
+		*buf = binary.AppendSubmitResponse((*buf)[:0], &resp)
+		p.writeRaw(w, http.StatusOK, binary.ContentType, *buf)
+		binary.PutBuffer(buf)
+		return
+	}
 	p.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -169,7 +220,17 @@ func recordReason(err error) string {
 // uploads.
 func (p *Platform) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req wire.PlanRequest
-	if err := decode(r, &req); err != nil {
+	if contentIsTLV(r) {
+		body, err := readBody(r)
+		if err == nil {
+			err = binary.DecodePlanRequest(*body, &req)
+			binary.PutBuffer(body)
+		}
+		if err != nil {
+			p.writeError(w, http.StatusBadRequest, "bad plan body: %v", err)
+			return
+		}
+	} else if err := decode(r, &req); err != nil {
 		p.writeError(w, http.StatusBadRequest, "bad plan body: %v", err)
 		return
 	}
@@ -227,14 +288,22 @@ func (p *Platform) handlePlan(w http.ResponseWriter, r *http.Request) {
 	p.logger.Info("plan solved",
 		"user_id", req.UserID, "round", round,
 		"candidates", len(problem.Candidates), "selected", plan.Len(), "profit", plan.Profit)
-	p.writeJSON(w, http.StatusOK, wire.PlanResponse{
+	resp := wire.PlanResponse{
 		Round:    round,
 		Order:    plan.Order,
 		Distance: plan.Distance,
 		Reward:   plan.Reward,
 		Cost:     plan.Cost,
 		Profit:   plan.Profit,
-	})
+	}
+	if acceptsTLV(r) {
+		buf := binary.GetBuffer()
+		*buf = binary.AppendPlanResponse((*buf)[:0], &resp)
+		p.writeRaw(w, http.StatusOK, binary.ContentType, *buf)
+		binary.PutBuffer(buf)
+		return
+	}
+	p.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleAdvance moves to the next round.

@@ -1,0 +1,208 @@
+package binary
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+
+	"paydemand/internal/geo"
+	"paydemand/internal/task"
+	"paydemand/internal/wire"
+)
+
+// consumer derives message content deterministically from fuzz input.
+type consumer struct {
+	data []byte
+	off  int
+}
+
+func (c *consumer) byte() byte {
+	if c.off >= len(c.data) {
+		return 0
+	}
+	b := c.data[c.off]
+	c.off++
+	return b
+}
+
+func (c *consumer) i() int {
+	var u uint32
+	for k := 0; k < 4; k++ {
+		u = u<<8 | uint32(c.byte())
+	}
+	return int(int32(u))
+}
+
+func (c *consumer) f() float64 {
+	var u uint64
+	for k := 0; k < 8; k++ {
+		u = u<<8 | uint64(c.byte())
+	}
+	f := math.Float64frombits(u)
+	if math.IsNaN(f) {
+		// NaN payloads round-trip through TLV but break DeepEqual; the
+		// dedicated TestFloatExactness covers them bit-exactly.
+		return 0
+	}
+	return f
+}
+
+func (c *consumer) bool() bool { return c.byte()&1 == 1 }
+
+func (c *consumer) str() string {
+	n := int(c.byte()) % 16
+	b := make([]byte, n)
+	for k := range b {
+		b[k] = c.byte()
+	}
+	return string(b)
+}
+
+func (c *consumer) point() geo.Point { return geo.Pt(c.f(), c.f()) }
+
+// FuzzBinaryRoundTrip derives all five protocol messages from the fuzz
+// input, requires TLV encode→decode to reproduce them exactly, and then
+// feeds the raw input to every decoder, requiring graceful errors (no
+// panics, no unbounded allocations) on arbitrary bytes.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	seed := AppendRoundInfo(nil, &wire.RoundInfo{Round: 3, Tasks: []wire.TaskInfo{{ID: 1, Reward: 2}}})
+	f.Add(seed)
+	long := make([]byte, 256)
+	for i := range long {
+		long[i] = byte(i * 7)
+	}
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := &consumer{data: data}
+
+		ri := wire.RoundInfo{Round: c.i(), Done: c.bool(), Unchanged: c.bool()}
+		for n := int(c.byte()) % 8; n > 0; n-- {
+			ri.Tasks = append(ri.Tasks, wire.TaskInfo{
+				ID:       task.ID(c.i()),
+				Location: c.point(),
+				Deadline: c.i(),
+				Required: c.i(),
+				Received: c.i(),
+				Reward:   c.f(),
+			})
+		}
+		var ri2 wire.RoundInfo
+		if err := DecodeRoundInfo(AppendRoundInfo(nil, &ri), &ri2); err != nil {
+			t.Fatalf("RoundInfo: %v", err)
+		}
+		if len(ri.Tasks) == 0 {
+			ri.Tasks, ri2.Tasks = nil, nil
+		}
+		if !reflect.DeepEqual(ri, ri2) {
+			t.Fatalf("RoundInfo mismatch:\n in=%+v\nout=%+v", ri, ri2)
+		}
+
+		pq := wire.PlanRequest{UserID: c.i(), Location: c.point(), Speed: c.f(), TimeBudget: c.f(), CostPerMeter: c.f()}
+		var pq2 wire.PlanRequest
+		if err := DecodePlanRequest(AppendPlanRequest(nil, &pq), &pq2); err != nil {
+			t.Fatalf("PlanRequest: %v", err)
+		}
+		if !reflect.DeepEqual(pq, pq2) {
+			t.Fatalf("PlanRequest mismatch:\n in=%+v\nout=%+v", pq, pq2)
+		}
+
+		pr := wire.PlanResponse{Round: c.i(), Distance: c.f(), Reward: c.f(), Cost: c.f(), Profit: c.f()}
+		for n := int(c.byte()) % 8; n > 0; n-- {
+			pr.Order = append(pr.Order, task.ID(c.i()))
+		}
+		var pr2 wire.PlanResponse
+		if err := DecodePlanResponse(AppendPlanResponse(nil, &pr), &pr2); err != nil {
+			t.Fatalf("PlanResponse: %v", err)
+		}
+		if len(pr.Order) == 0 {
+			pr.Order, pr2.Order = nil, nil
+		}
+		if !reflect.DeepEqual(pr, pr2) {
+			t.Fatalf("PlanResponse mismatch:\n in=%+v\nout=%+v", pr, pr2)
+		}
+
+		sq := wire.SubmitRequest{UserID: c.i(), Round: c.i(), Location: c.point()}
+		for n := int(c.byte()) % 8; n > 0; n-- {
+			sq.Measurements = append(sq.Measurements, wire.Measurement{TaskID: task.ID(c.i()), Value: c.f()})
+		}
+		var sq2 wire.SubmitRequest
+		if err := DecodeSubmitRequest(AppendSubmitRequest(nil, &sq), &sq2); err != nil {
+			t.Fatalf("SubmitRequest: %v", err)
+		}
+		if len(sq.Measurements) == 0 {
+			sq.Measurements, sq2.Measurements = nil, nil
+		}
+		if !reflect.DeepEqual(sq, sq2) {
+			t.Fatalf("SubmitRequest mismatch:\n in=%+v\nout=%+v", sq, sq2)
+		}
+
+		sr := wire.SubmitResponse{TotalPaid: c.f()}
+		for n := int(c.byte()) % 8; n > 0; n-- {
+			sr.Results = append(sr.Results, wire.SubmitResult{
+				TaskID: task.ID(c.i()), Accepted: c.bool(), Reward: c.f(), Reason: c.str(),
+			})
+		}
+		var sr2 wire.SubmitResponse
+		if err := DecodeSubmitResponse(AppendSubmitResponse(nil, &sr), &sr2); err != nil {
+			t.Fatalf("SubmitResponse: %v", err)
+		}
+		if len(sr.Results) == 0 {
+			sr.Results, sr2.Results = nil, nil
+		}
+		if !reflect.DeepEqual(sr, sr2) {
+			t.Fatalf("SubmitResponse mismatch:\n in=%+v\nout=%+v", sr, sr2)
+		}
+
+		// Hardening: the raw fuzz input through every decoder must never
+		// panic; errors are expected and fine.
+		var hri wire.RoundInfo
+		_ = DecodeRoundInfo(data, &hri)
+		var hpq wire.PlanRequest
+		_ = DecodePlanRequest(data, &hpq)
+		var hpr wire.PlanResponse
+		_ = DecodePlanResponse(data, &hpr)
+		var hsq wire.SubmitRequest
+		_ = DecodeSubmitRequest(data, &hsq)
+		var hsr wire.SubmitResponse
+		_ = DecodeSubmitResponse(data, &hsr)
+	})
+}
+
+// FuzzBinaryDecodeHardened hammers the decoders with structured-looking
+// hostile input: the fuzz data is reinterpreted as TLV framing so length
+// prefixes and counts land on interesting boundaries more often than with
+// fully random bytes.
+func FuzzBinaryDecodeHardened(f *testing.F) {
+	ri := sampleRoundInfo(4)
+	f.Add(AppendRoundInfo(nil, &ri))
+	sq := sampleSubmitRequest()
+	f.Add(AppendSubmitRequest(nil, &sq))
+	b := []byte{tagRoundInfoTasks, wtMsgList}
+	b = binary.LittleEndian.AppendUint32(b, 8)
+	b = binary.LittleEndian.AppendUint32(b, 1)
+	b = binary.LittleEndian.AppendUint32(b, 0)
+	f.Add(b)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ri wire.RoundInfo
+		_ = DecodeRoundInfo(data, &ri)
+		if len(ri.Tasks) > len(data) {
+			t.Fatalf("decoded %d tasks from %d bytes", len(ri.Tasks), len(data))
+		}
+		var sq wire.SubmitRequest
+		_ = DecodeSubmitRequest(data, &sq)
+		if len(sq.Measurements) > len(data) {
+			t.Fatalf("decoded %d measurements from %d bytes", len(sq.Measurements), len(data))
+		}
+		var sr wire.SubmitResponse
+		_ = DecodeSubmitResponse(data, &sr)
+		var pr wire.PlanResponse
+		_ = DecodePlanResponse(data, &pr)
+		var pq wire.PlanRequest
+		_ = DecodePlanRequest(data, &pq)
+	})
+}

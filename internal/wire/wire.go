@@ -84,7 +84,19 @@ type RoundInfo struct {
 	// Done reports that the campaign has ended (every task completed or
 	// expired, or the round horizon passed).
 	Done bool `json:"done"`
+	// Unchanged reports that the round the poller said it already knows
+	// (the known_round short-circuit, see HeaderKnownRound) is still
+	// current: Tasks is omitted and the worker should keep using the
+	// prices it has. Never set on full responses.
+	Unchanged bool `json:"unchanged,omitempty"`
 }
+
+// HeaderKnownRound is the optional request header (or "known" query
+// parameter) a /v1/round poller sends with the round number it already
+// holds prices for. When that round is still current the platform answers
+// with a tiny Unchanged response instead of re-serializing the full task
+// list — steady-state polling between advances costs O(1), not O(tasks).
+const HeaderKnownRound = "X-Known-Round"
 
 // Measurement is one sensed value a worker uploads for a task.
 type Measurement struct {
