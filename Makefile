@@ -6,7 +6,7 @@
 STATICCHECK_VERSION := 2025.1.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test race cover lint fmt-check vet paylint staticcheck govulncheck fuzz-smoke bench-smoke bench-shard bench-wire loadgen-smoke ci
+.PHONY: all build test race cover lint fmt-check vet paylint lint-fixtures staticcheck govulncheck fuzz-smoke bench-smoke bench-shard bench-wire loadgen-smoke ci
 
 all: build test
 
@@ -39,6 +39,13 @@ vet:
 
 paylint:
 	go run ./cmd/paylint ./...
+
+# The analyzer suite's own regression tests: every analyzer against its
+# seeded-violation fixtures under internal/analysis/testdata/src, plus
+# the CFG/dataflow unit tests. Fast enough to run on every analyzer
+# change without waiting for the whole-repo gate.
+lint-fixtures:
+	go test ./internal/analysis/... ./cmd/paylint/
 
 # staticcheck and govulncheck are external tools; install the pinned
 # versions once with `make lint-tools` (needs network access).

@@ -1,23 +1,30 @@
 // Command paylint runs the repo's static-analysis suite: the custom
-// analyzers that enforce the determinism and aliasing invariants every
-// performance PR rests on (byte-identical simulation output for a given
-// seed at any worker count).
+// analyzers that enforce the determinism, aliasing, wire-compatibility,
+// and concurrency invariants every performance PR rests on
+// (byte-identical simulation output for a given seed at any worker
+// count; balanced locks, pools, and context leases).
 //
 // Usage:
 //
 //	go run ./cmd/paylint ./...
 //	go run ./cmd/paylint -list
 //	go run ./cmd/paylint -only mapiter,detrand ./internal/sim/
+//	go run ./cmd/paylint -json ./...
 //
 // Findings are printed one per line as path:line:col: message (analyzer)
 // and the exit status is 1 when any finding is reported, so the command
-// gates CI directly. See DESIGN.md section 11 for the invariants and the
-// //paylint:sorted / //paylint:aliases suppression syntax.
+// gates CI directly. With -json, findings are emitted instead as a JSON
+// array of {file, line, col, analyzer, message} objects in the same
+// deterministic order (an empty array when the tree is clean), which CI
+// uploads as an artifact. See DESIGN.md sections 11 and 16 for the
+// invariants and the //paylint: suppression syntax.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,48 +32,97 @@ import (
 )
 
 func main() {
-	listFlag := flag.Bool("list", false, "list the analyzers and exit")
-	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: paylint [-list] [-only names] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json wire form of one finding. The field order
+// and names are part of the CI artifact contract.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// run is main with its streams and exit status made testable:
+// 0 clean, 1 findings, 2 usage or load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listFlag := fs.Bool("list", false, "list the analyzers and exit")
+	onlyFlag := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: paylint [-list] [-only names] [-json] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *listFlag {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers, err := selectAnalyzers(*onlyFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "paylint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "paylint:", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "paylint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "paylint:", err)
+		return 2
 	}
 	findings, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "paylint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "paylint:", err)
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *jsonFlag {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "paylint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "paylint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "paylint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
+}
+
+// writeJSON renders findings as an indented JSON array, [] when clean.
+// Run already sorted them by file, line, column, and analyzer, so the
+// artifact is byte-stable across runs.
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Col:      f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectAnalyzers resolves the -only flag against the full suite.

@@ -27,8 +27,19 @@
 //   - wirebin: the binary codec's TLV tag tables must cover exactly the
 //     json-serialized fields of every codec-covered struct, so a wire
 //     struct cannot grow a field the hand-written codec silently drops.
-//   - directive: every //paylint: suppression directive is well-formed
-//     and attached to a node it can actually suppress.
+//   - poolpair: pooled values (sync.Pool.Get, binary.GetBuffer,
+//     SolverPool.Get) are released on every path and never escape the
+//     acquiring function (flow-sensitive, over the CFG in cfg.go).
+//   - leasepair: engine.ContextHold leases are balanced by Release on
+//     every path, including error returns (flow-sensitive).
+//   - lockorder: mutexes are acquired in ascending LockRanks order,
+//     never double-locked, and released on every path (flow-sensitive).
+//   - atomicfield: struct fields touched via sync/atomic anywhere are
+//     accessed atomically everywhere.
+//   - directive: every //paylint: suppression directive is well-formed,
+//     attached to a node it can actually suppress, and still suppressing
+//     something (stale directives are findings too). It runs last so it
+//     can see which directives the other analyzers consulted.
 package analysis
 
 import (
@@ -66,6 +77,24 @@ type Pass struct {
 
 	// directives is the lazily built per-pass directive index.
 	directives *directiveIndex
+
+	// usage is the per-package directive-usage record, shared by every
+	// analyzer the driver runs on the package so the directive analyzer
+	// (always last) can report suppressions that suppressed nothing.
+	usage *directiveUsage
+}
+
+// directiveUsage records, for one package, which directives suppressed a
+// finding and which analyzers ran — the evidence the stale-directive
+// check needs. A directive is only stale if its owning analyzer actually
+// ran in this batch and still consulted it for nothing.
+type directiveUsage struct {
+	used map[token.Pos]bool
+	ran  map[string]bool
+}
+
+func newDirectiveUsage() *directiveUsage {
+	return &directiveUsage{used: map[token.Pos]bool{}, ran: map[string]bool{}}
 }
 
 // A Diagnostic is one finding.
@@ -98,15 +127,31 @@ func (f Finding) String() string {
 // sorted by file, line, column, and analyzer name, so output is stable
 // for CI diffing.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	// The directive analyzer consumes the usage record the other
+	// analyzers produce (stale-suppression detection), so it always runs
+	// last on each package, whatever order the caller selected.
+	ordered := make([]*Analyzer, 0, len(analyzers))
+	var last []*Analyzer
+	for _, a := range analyzers {
+		if a.Name == Directive.Name {
+			last = append(last, a)
+			continue
+		}
+		ordered = append(ordered, a)
+	}
+	ordered = append(ordered, last...)
+
 	var out []Finding
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		usage := newDirectiveUsage()
+		for _, a := range ordered {
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				usage:     usage,
 			}
 			pass.Report = func(d Diagnostic) {
 				out = append(out, Finding{
@@ -118,6 +163,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
+			usage.ran[a.Name] = true
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -131,12 +177,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		if a.Position.Column != b.Position.Column {
 			return a.Position.Column < b.Position.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out, nil
 }
 
-// All returns the full paylint suite in the order it is run.
+// All returns the full paylint suite in the order it is run. The
+// directive analyzer is last: it audits the suppression directives the
+// preceding analyzers consulted.
 func All() []*Analyzer {
-	return []*Analyzer{Mapiter, Detrand, ScratchAlias, WireJSON, WireBin, Directive}
+	return []*Analyzer{Mapiter, Detrand, ScratchAlias, WireJSON, WireBin,
+		PoolPair, LeasePair, LockOrder, AtomicField, Directive}
 }

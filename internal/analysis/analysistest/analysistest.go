@@ -45,15 +45,24 @@ type expectation struct {
 // comments on t.
 func Run(t *testing.T, a *analysis.Analyzer, fixture, pkgPath string) {
 	t.Helper()
+	RunAnalyzers(t, []*analysis.Analyzer{a}, fixture, pkgPath)
+}
+
+// RunAnalyzers is Run for a batch of analyzers sharing one driver pass
+// over the fixture, the way cmd/paylint runs the real tree. Cross-
+// analyzer behavior — the directive analyzer's stale-suppression check
+// consumes usage recorded by the others — is only observable this way.
+func RunAnalyzers(t *testing.T, analyzers []*analysis.Analyzer, fixture, pkgPath string) {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", fixture)
 	// The module root is two levels up from internal/analysis.
 	pkg, err := analysis.LoadFixture(filepath.Join("..", ".."), dir, pkgPath)
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", fixture, err)
 	}
-	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	findings, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
 	if err != nil {
-		t.Fatalf("run %s on %s: %v", a.Name, fixture, err)
+		t.Fatalf("run on %s: %v", fixture, err)
 	}
 
 	expects := collectExpectations(t, pkg)

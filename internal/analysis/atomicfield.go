@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicfield enforces all-or-nothing atomicity per struct field: a
+// field that any code in the package updates through sync/atomic must be
+// accessed through sync/atomic everywhere, because a single plain read
+// or write beside atomic updates is a data race the race detector only
+// catches when the schedule cooperates. (Fields of type atomic.Int64
+// and friends are immune by construction — their state is unexported —
+// so only raw sync/atomic calls on plain integer fields are collected.)
+//
+// The check is package-local and flow-insensitive: pass one collects
+// every field whose address is taken by a sync/atomic call, pass two
+// reports every other selection of those fields outside sync/atomic
+// argument lists.
+
+// AtomicField is the mixed-atomic-access analyzer.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "check that struct fields touched via sync/atomic anywhere in " +
+		"the package are accessed atomically everywhere (suppress with " +
+		"//paylint:atomic <reason>)",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	if !isConcurrencyPackage(pass.Pkg.Path()) {
+		return nil
+	}
+
+	// Pass one: fields addressed in sync/atomic calls, plus every
+	// selector node appearing inside such a call's arguments (those are
+	// the sanctioned accesses).
+	atomicFields := map[*types.Var]token.Pos{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(x ast.Node) bool {
+					if sel, ok := x.(*ast.SelectorExpr); ok {
+						sanctioned[sel] = true
+					}
+					return true
+				})
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					continue
+				}
+				field, ok := selection.Obj().(*types.Var)
+				if !ok {
+					continue
+				}
+				if prev, seen := atomicFields[field]; !seen || call.Pos() < prev {
+					atomicFields[field] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass two: any other selection of those fields is a mixed access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			atomicPos, isAtomic := atomicFields[field]
+			if !isAtomic || pass.Suppressed(sel, "atomic") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is updated atomically (e.g. at %s) but accessed non-atomically here; mixed access races",
+				field.Name(), pass.Fset.Position(atomicPos))
+			return true
+		})
+	}
+	return nil
+}

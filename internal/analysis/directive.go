@@ -21,10 +21,21 @@ import (
 //	//paylint:aliases <field>  — on an exported function or method
 //	  declaration: the return value deliberately aliases the named
 //	  receiver scratch field; callers must copy before the next call.
+//	//paylint:poolpair <reason>  — on a pooled-value acquire site: the
+//	  value's release is deliberately unbalanced here.
+//	//paylint:leasepair <reason>  — on a context-lease acquire site:
+//	  the lease's Release is deliberately unbalanced here.
+//	//paylint:lockorder <reason>  — on a Lock call: the flagged rank or
+//	  balance deviation is deliberate.
+//	//paylint:atomic <reason>  — on a field access: the mixed
+//	  atomic/non-atomic access is safe (say why — e.g. guarded by a
+//	  happens-before the analyzer cannot see).
 //
 // The argument is mandatory: a directive is an auditable exception, and
 // an exception without a recorded justification is itself a finding (see
-// the directive analyzer).
+// the directive analyzer). A directive that no longer suppresses any
+// finding is reported as stale by the same analyzer, so justifications
+// cannot outlive the code they excuse.
 
 // directivePrefix introduces every paylint directive comment.
 const directivePrefix = "//paylint:"
@@ -103,8 +114,24 @@ func (p *Pass) DirectiveFor(node ast.Node, verb string) (directiveComment, bool)
 }
 
 // Suppressed reports whether node carries a well-formed directive with
-// the given verb, i.e. one that also has a non-empty argument.
+// the given verb, i.e. one that also has a non-empty argument. A
+// suppressing directive is recorded as used for stale-directive
+// detection; analyzers must therefore consult Suppressed only when a
+// finding would actually be reported.
 func (p *Pass) Suppressed(node ast.Node, verb string) bool {
 	d, ok := p.DirectiveFor(node, verb)
-	return ok && d.Args != ""
+	if ok && d.Args != "" {
+		p.markDirectiveUsed(d)
+		return true
+	}
+	return false
+}
+
+// markDirectiveUsed records that d suppressed a finding this run.
+// Analyzers that consult DirectiveFor directly (scratchalias matches the
+// directive's argument against a field name) call this themselves.
+func (p *Pass) markDirectiveUsed(d directiveComment) {
+	if p.usage != nil {
+		p.usage.used[d.Pos] = true
+	}
 }

@@ -12,21 +12,44 @@ import (
 // nothing or lulling a reader into thinking something is suppressed.
 //
 // Reported:
-//   - unknown verbs (anything but "sorted" and "aliases");
+//   - unknown verbs (anything outside the verb table in directive.go);
 //   - //paylint:sorted without a reason, or not attached to a range
 //     statement over a map;
 //   - //paylint:aliases without a field name, not attached to an
 //     exported function declaration, or naming a field that does not
-//     exist on the receiver's type.
+//     exist on the receiver's type;
+//   - //paylint:poolpair, leasepair, lockorder, or atomic without a
+//     reason;
+//   - stale directives: a well-formed directive whose owning analyzer
+//     ran in this batch and suppressed nothing with it. The justification
+//     excused a finding that no longer exists, so the directive must go
+//     before it misleads a reader into thinking an exception is live.
 //
 // Attachment follows the same rule the suppressing analyzers use: the
 // directive must sit on the construct's starting line or the line
-// immediately above it.
+// immediately above it. The stale check relies on the driver running
+// this analyzer last on each package (analysis.Run enforces that), with
+// the other analyzers recording which directives they consulted.
 var Directive = &Analyzer{
 	Name: "directive",
-	Doc:  "check that every //paylint: suppression directive is well-formed and attached to a suppressible construct",
-	Run:  runDirective,
+	Doc: "check that every //paylint: suppression directive is well-formed, " +
+		"attached to a suppressible construct, and still suppressing a finding",
+	Run: runDirective,
 }
+
+// verbOwner maps each suppression verb to the analyzer that consumes it;
+// a directive is stale only if its owner ran and never used it.
+var verbOwner = map[string]string{
+	"sorted":    "mapiter",
+	"aliases":   "scratchalias",
+	"poolpair":  "poolpair",
+	"leasepair": "leasepair",
+	"lockorder": "lockorder",
+	"atomic":    "atomicfield",
+}
+
+// knownVerbs is the alphabetical verb list for the unknown-verb message.
+const knownVerbs = "aliases, atomic, leasepair, lockorder, poolpair, sorted"
 
 func runDirective(pass *Pass) error {
 	idx := pass.directiveIdx()
@@ -35,29 +58,49 @@ func runDirective(pass *Pass) error {
 	}
 	rangeLines, funcLines := attachmentLines(pass)
 	for _, d := range idx.all {
+		malformed := false
 		switch d.Verb {
 		case "sorted":
 			if d.Args == "" {
 				pass.Reportf(d.Pos, "//paylint:sorted needs a reason: say why iteration order is immaterial here")
+				malformed = true
 			}
 			if !attachedTo(rangeLines, d.Line) {
 				pass.Reportf(d.Pos, "//paylint:sorted is not attached to a range statement over a map; "+
 					"put it on the statement's line or the line above")
+				malformed = true
 			}
 		case "aliases":
 			if d.Args == "" {
 				pass.Reportf(d.Pos, "//paylint:aliases needs the name of the scratch field the return value aliases")
+				malformed = true
 			}
 			fn, ok := funcLines[d.Line]
 			if !ok {
 				pass.Reportf(d.Pos, "//paylint:aliases is not attached to an exported function declaration; "+
 					"put it on the declaration's line or the line above (last line of the doc comment)")
+				malformed = true
 			} else if d.Args != "" && !receiverHasField(pass, fn, d.Args) {
 				pass.Reportf(d.Pos, "//paylint:aliases %s: %s's receiver has no field named by %q",
 					d.Args, fn.Name.Name, d.Args)
+				malformed = true
+			}
+		case "poolpair", "leasepair", "lockorder", "atomic":
+			if d.Args == "" {
+				pass.Reportf(d.Pos, "//paylint:%s needs a reason: say why this deviation from the %s invariant is safe",
+					d.Verb, verbOwner[d.Verb])
+				malformed = true
 			}
 		default:
-			pass.Reportf(d.Pos, "unknown directive //paylint:%s (known: sorted, aliases)", d.Verb)
+			pass.Reportf(d.Pos, "unknown directive //paylint:%s (known: %s)", d.Verb, knownVerbs)
+			continue
+		}
+		if malformed || pass.usage == nil {
+			continue
+		}
+		if owner := verbOwner[d.Verb]; pass.usage.ran[owner] && !pass.usage.used[d.Pos] {
+			pass.Reportf(d.Pos, "stale directive //paylint:%s: it no longer suppresses any %s finding; remove it",
+				d.Verb, owner)
 		}
 	}
 	return nil

@@ -65,10 +65,13 @@ func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
 		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		if pass.Suppressed(rng, "sorted") {
+		// The structural pattern is checked before the directive, so a
+		// directive on a loop that is fine anyway reads as unused and the
+		// directive analyzer reports it as stale.
+		if sortedAccumulatorLoop(pass, body, rng) {
 			return true
 		}
-		if sortedAccumulatorLoop(pass, body, rng) {
+		if pass.Suppressed(rng, "sorted") {
 			return true
 		}
 		pass.Reportf(rng.Pos(), "range over map %s: iteration order is nondeterministic; "+

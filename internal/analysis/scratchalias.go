@@ -65,6 +65,13 @@ func collectScratchFields(pass *Pass) map[*types.Var]bool {
 	scratch := map[*types.Var]bool{}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			// if cap(x.f) < n { x.f = make(...) } — the grow-only flavor
+			// of buffer reuse (PR 2's solver scratch): the field is only
+			// reallocated when too small, so returns alias across calls.
+			if ifs, ok := n.(*ast.IfStmt); ok {
+				markGrowOnlyScratch(pass, ifs, scratch)
+				return true
+			}
 			assign, ok := n.(*ast.AssignStmt)
 			if !ok {
 				return true
@@ -104,6 +111,61 @@ func collectScratchFields(pass *Pass) map[*types.Var]bool {
 		})
 	}
 	return scratch
+}
+
+// markGrowOnlyScratch records fields matching the grow-only idiom: an if
+// whose condition takes cap (or len) of the field and whose body
+// reassigns the same field from make.
+func markGrowOnlyScratch(pass *Pass, ifs *ast.IfStmt, scratch map[*types.Var]bool) {
+	guarded := map[*types.Var]bool{}
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || (id.Name != "cap" && id.Name != "len") {
+			return true
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if fv := fieldVar(pass, call.Args[0]); fv != nil {
+			guarded[fv] = true
+		}
+		return true
+	})
+	if len(guarded) == 0 {
+		return
+	}
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			if i >= len(assign.Rhs) {
+				break
+			}
+			fv := fieldVar(pass, lhs)
+			if fv == nil || !guarded[fv] {
+				continue
+			}
+			call, ok := assign.Rhs[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				continue
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			scratch[fv] = true
+		}
+		return true
+	})
 }
 
 // fieldVar returns the struct field a selector expression denotes, or
@@ -158,6 +220,7 @@ func checkScratchReturns(pass *Pass, fn *ast.FuncDecl, scratch map[*types.Var]bo
 				continue
 			}
 			if d, ok := pass.DirectiveFor(fn, "aliases"); ok && directiveNamesField(d.Args, fv.Name()) {
+				pass.markDirectiveUsed(d)
 				continue
 			}
 			pass.Reportf(ret.Pos(), "exported %s returns scratch buffer %s, which the next call overwrites; "+

@@ -49,14 +49,50 @@ func TestWireBin(t *testing.T) {
 	analysistest.Run(t, analysis.WireBin, "wirebin", "paydemand/internal/wire/binary")
 }
 
+func TestPoolPair(t *testing.T) {
+	analysistest.Run(t, analysis.PoolPair, "poolpair", "paydemand/internal/server")
+}
+
+func TestLeasePair(t *testing.T) {
+	analysistest.Run(t, analysis.LeasePair, "leasepair", "paydemand/internal/server")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder, "lockorder", "paydemand/internal/shard")
+}
+
+// TestFlowOutOfScope proves the ConcurrencyPackages scoping of the
+// flow-sensitive analyzers: the same unbalanced constructs under an
+// out-of-scope path report nothing.
+func TestFlowOutOfScope(t *testing.T) {
+	analysistest.RunAnalyzers(t,
+		[]*analysis.Analyzer{analysis.PoolPair, analysis.LockOrder},
+		"lockorder_outofscope", "paydemand/internal/geo")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicField, "atomicfield", "paydemand/internal/metrics")
+}
+
 func TestDirective(t *testing.T) {
 	analysistest.Run(t, analysis.Directive, "directive", "paydemand/internal/selection")
+}
+
+// TestDirectiveStale runs a batch — owning analyzers plus the directive
+// analyzer — because stale detection consumes the usage the owners
+// record: a directive is stale exactly when its owner ran and never
+// consulted it.
+func TestDirectiveStale(t *testing.T) {
+	analysistest.RunAnalyzers(t,
+		[]*analysis.Analyzer{analysis.Mapiter, analysis.LockOrder, analysis.Directive},
+		"directive_stale", "paydemand/internal/sim")
 }
 
 // TestSuiteNames pins the suite composition: CI documentation and the
 // -only flag both refer to analyzers by these names.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"mapiter", "detrand", "scratchalias", "wirejson", "wirebin", "directive"}
+	want := []string{"mapiter", "detrand", "scratchalias", "wirejson", "wirebin",
+		"poolpair", "leasepair", "lockorder", "atomicfield", "directive"}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

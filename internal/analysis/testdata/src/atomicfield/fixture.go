@@ -1,0 +1,51 @@
+// Fixture for the atomicfield analyzer: a struct field updated through
+// sync/atomic anywhere in the package must be accessed through
+// sync/atomic everywhere (type-checked as paydemand/internal/metrics,
+// whose hot counters motivated the rule).
+package metrics
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+	plain  int64
+}
+
+// Sanctioned accesses: inside sync/atomic argument lists.
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) miss() {
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counter) snapshot() (int64, int64) {
+	return atomic.LoadInt64(&c.hits), atomic.LoadInt64(&c.misses)
+}
+
+// Mixed accesses race with the atomic updaters.
+
+func (c *counter) badRead() int64 {
+	return c.hits // want `field hits is updated atomically .* but accessed non-atomically here`
+}
+
+func (c *counter) badWrite() {
+	c.misses = 0 // want `field misses is updated atomically .* but accessed non-atomically here`
+}
+
+// Fields never touched atomically are unconstrained.
+
+func (c *counter) plainOK() int64 {
+	c.plain++
+	return c.plain
+}
+
+// A directive with a reason suppresses the finding at the access site.
+
+func (c *counter) suppressed() int64 {
+	//paylint:atomic read during shutdown, after all writer goroutines joined
+	return c.hits
+}

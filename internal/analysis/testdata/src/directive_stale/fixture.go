@@ -1,0 +1,60 @@
+// Fixture for the directive analyzer's stale-suppression check, run as
+// a batch with mapiter and lockorder the way cmd/paylint runs the real
+// tree: a directive whose owning analyzer ran and found nothing to
+// suppress is itself reported, so suppressions cannot outlive the code
+// they excused (type-checked as paydemand/internal/sim).
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// Used directive: the loop is a real mapiter finding without it, so the
+// directive is consulted and earns its keep.
+func maxValue(m map[int]int) int {
+	best := 0
+	//paylint:sorted max over values is order-independent
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Stale directive: the loop matches the sorted-accumulator pattern, so
+// mapiter accepts it on structure alone and the directive suppresses
+// nothing.
+func sortedKeys(m map[int]int) []int {
+	var ks []int
+	/* want `stale directive //paylint:sorted` */ //paylint:sorted keys get sorted below
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+type guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Used directive: suppresses a genuine double-lock finding.
+func reentrant(g *guard) {
+	g.mu.Lock()
+	//paylint:lockorder re-entry is guarded by a TryLock upstream
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// Stale directive: the lock below is balanced, so lockorder never
+// consults the suppression.
+func balancedLock(g *guard) {
+	g.n++
+	/* want `stale directive //paylint:lockorder` */ //paylint:lockorder legacy excuse from before the unlock was added
+	g.mu.Lock()
+	g.mu.Unlock()
+}

@@ -1,0 +1,119 @@
+// Fixture for the leasepair analyzer: every engine.ContextHold acquired
+// must be balanced by Release on every path, including error returns
+// (type-checked as paydemand/internal/server, the package that holds
+// leases across planning calls).
+package server
+
+import (
+	"errors"
+
+	"paydemand/internal/engine"
+)
+
+var errLease = errors.New("lease fixture")
+
+func cond() bool { return len(errLease.Error()) > 3 }
+
+// Balanced forms: deferred, straight-line, and released-in-place.
+
+func balanced(e *engine.Engine) {
+	hold := e.HoldContext()
+	defer hold.Release()
+}
+
+func straightLine(e *engine.Engine) {
+	hold := e.HoldContext()
+	hold.Release()
+}
+
+func inline(e *engine.Engine) {
+	e.HoldContext().Release()
+}
+
+// Leaks.
+
+func leak(e *engine.Engine) {
+	hold := e.HoldContext() // want `context lease acquired here is not released on every path`
+	_ = hold
+}
+
+func errorPathLeak(e *engine.Engine) error {
+	hold := e.HoldContext() // want `context lease acquired here is released on some paths but not others`
+	if cond() {
+		return errLease // early return skips the Release below
+	}
+	hold.Release()
+	return nil
+}
+
+func errorPathBalanced(e *engine.Engine) error {
+	hold := e.HoldContext()
+	defer hold.Release()
+	if cond() {
+		return errLease
+	}
+	return nil
+}
+
+func discarded(e *engine.Engine) {
+	e.HoldContext() // want `result of e.HoldContext is discarded`
+}
+
+// Field stores are accepted ownership transfers for leases (unlike pool
+// values): the engine deliberately parks its current lease in a field.
+
+type parker struct {
+	cur engine.ContextHold
+}
+
+func (p *parker) park(e *engine.Engine) {
+	p.cur = e.HoldContext()
+}
+
+func (p *parker) parkLater(e *engine.Engine) {
+	hold := e.HoldContext()
+	p.cur = hold
+}
+
+// Returning the hold transfers ownership to the caller — and makes
+// acquireFor an acquire front in its own right, because any function
+// returning an engine.ContextHold is an acquire site.
+
+func acquireFor(e *engine.Engine) engine.ContextHold {
+	return e.HoldContext()
+}
+
+func frontLeak(e *engine.Engine) {
+	hold := acquireFor(e) // want `context lease acquired here is not released on every path`
+	_ = hold
+}
+
+func frontBalanced(e *engine.Engine) {
+	hold := acquireFor(e)
+	defer hold.Release()
+}
+
+// Handoffs to goroutines and capturing closures end local tracking; the
+// receiving unit is checked on its own.
+
+func handoff(e *engine.Engine) {
+	hold := e.HoldContext()
+	go releaseHold(hold)
+}
+
+func releaseHold(h engine.ContextHold) {
+	h.Release()
+}
+
+func deferredClosure(e *engine.Engine) func() {
+	hold := e.HoldContext()
+	return func() { hold.Release() }
+}
+
+// A directive with a reason suppresses the finding at the acquire site.
+
+func suppressed(e *engine.Engine) {
+	//paylint:leasepair the monitor goroutine releases this hold on shutdown
+	hold := e.HoldContext()
+	_ = hold
+}

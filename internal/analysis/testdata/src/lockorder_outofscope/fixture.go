@@ -1,0 +1,25 @@
+// Fixture proving the concurrency-package scoping of the flow-sensitive
+// analyzers: outside ConcurrencyPackages, unbalanced locks and leaked
+// pool values are not reported (type-checked as paydemand/internal/geo).
+package geo
+
+import "sync"
+
+type cell struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Would be a lockorder finding in scope; geo is out of scope.
+func unbalanced(c *cell) {
+	c.mu.Lock()
+	c.n++
+}
+
+// Would be a poolpair finding in scope.
+var scratch = sync.Pool{New: func() any { b := make([]byte, 0, 8); return &b }}
+
+func leak() int {
+	buf := scratch.Get().(*[]byte)
+	return len(*buf)
+}
