@@ -17,7 +17,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/experiments/ ./internal/sim/ ./internal/selection/ ./internal/server/ ./internal/engine/ ./internal/shard/ ./internal/client/ ./cmd/loadgen/
+	go test -race ./internal/experiments/ ./internal/sim/ ./internal/selection/ ./internal/server/ ./internal/engine/ ./internal/shard/ ./internal/client/ ./internal/incentive/ ./internal/mobility/ ./cmd/loadgen/
 
 # Aggregate coverage across every package, with a function summary.
 cover:

@@ -71,11 +71,30 @@ type (
 
 // Incentive mechanisms (Sections IV and VI).
 type (
-	// Mechanism prices sensing tasks round by round.
+	// Mechanism prices sensing tasks round by round. Callers assemble a
+	// RoundInput carrying the capabilities the mechanism declares via
+	// Requires() and receive a task-ID-to-reward map back.
 	Mechanism = incentive.Mechanism
+	// RoundInput is the per-round bundle of observations handed to a
+	// mechanism: the task views plus whichever optional capability
+	// fields (bids, budget, mobility forecast, seeded stream) the
+	// mechanism requires.
+	RoundInput = incentive.RoundInput
 	// TaskView is the platform's per-task observation handed to a
 	// mechanism.
 	TaskView = incentive.TaskView
+	// Bid is one worker's claimed cost for sensing this round.
+	Bid = incentive.Bid
+	// Capabilities is the bitmask of optional RoundInput fields a
+	// mechanism declares it needs.
+	Capabilities = incentive.Capabilities
+	// ForecastProvider predicts future neighbor counts for
+	// mobility-aware mechanisms; implement it to plug in a custom
+	// mobility model.
+	ForecastProvider = incentive.ForecastProvider
+	// MechanismRNG is the seeded deterministic stream consumed by
+	// randomized mechanisms through RoundInput.RNG.
+	MechanismRNG = stats.RNG
 	// RewardScheme is the demand-level-to-reward rule of Eq. 7.
 	RewardScheme = incentive.RewardScheme
 	// OnDemandMechanism is the paper's demand-based dynamic mechanism.
@@ -84,7 +103,28 @@ type (
 	FixedMechanism = incentive.Fixed
 	// SteeredMechanism is Kawajiri et al.'s quality-driven mechanism.
 	SteeredMechanism = incentive.Steered
+	// AuctionMechanism is the budget-feasible truthful reverse auction.
+	AuctionMechanism = incentive.Auction
+	// IncentMeMechanism prices by expected coverage under mobility
+	// uncertainty.
+	IncentMeMechanism = incentive.IncentMe
 )
+
+// Capability flags a Mechanism can declare via Requires().
+const (
+	// CapBids asks for per-worker claimed costs in RoundInput.Bids.
+	CapBids = incentive.CapBids
+	// CapBudget asks for the campaign budget in RoundInput.Budget.
+	CapBudget = incentive.CapBudget
+	// CapMobility asks for a neighbor forecast in RoundInput.Mobility.
+	CapMobility = incentive.CapMobility
+	// CapRNG asks for a seeded stream in RoundInput.RNG.
+	CapRNG = incentive.CapRNG
+)
+
+// NewMechanismRNG builds the seeded stream randomized mechanisms consume
+// through RoundInput.RNG.
+func NewMechanismRNG(seed int64) *MechanismRNG { return stats.NewRNG(seed) }
 
 // NewRewardScheme derives the budget-constrained reward scheme of Eq. 9:
 // r0 = budget/totalRequired - lambda*(levels-1).
@@ -98,10 +138,22 @@ func NewOnDemandMechanism(scheme RewardScheme) (*OnDemandMechanism, error) {
 	return incentive.NewPaperOnDemand(scheme)
 }
 
-// NewFixedMechanism builds the fixed baseline; seed drives its one-time
-// random level draws.
-func NewFixedMechanism(scheme RewardScheme, seed int64) (*FixedMechanism, error) {
-	return incentive.NewFixed(scheme, stats.NewRNG(seed))
+// NewFixedMechanism builds the fixed baseline. Its one-time random level
+// draws come from the RoundInput.RNG stream the caller supplies each
+// round (see NewMechanismRNG); the mechanism declares that need via
+// Requires().
+func NewFixedMechanism(scheme RewardScheme) (*FixedMechanism, error) {
+	return incentive.NewFixed(scheme)
+}
+
+// NewAuctionMechanism builds the budget-feasible truthful reverse
+// auction; it requires worker bids and a budget in its RoundInput.
+func NewAuctionMechanism() *AuctionMechanism { return incentive.NewAuction() }
+
+// NewIncentMeMechanism builds the expected-coverage mechanism; it
+// requires a mobility forecast in its RoundInput.
+func NewIncentMeMechanism(scheme RewardScheme) (*IncentMeMechanism, error) {
+	return incentive.NewIncentMe(scheme)
 }
 
 // NewSteeredMechanism builds the steered baseline with the paper's raw

@@ -244,7 +244,7 @@ func BenchmarkRewardUpdate(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mech.Rewards(1+i%15, views); err != nil {
+		if _, err := mech.Rewards(&paydemand.RoundInput{Round: 1 + i%15, Views: views}); err != nil {
 			b.Fatal(err)
 		}
 	}

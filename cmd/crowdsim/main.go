@@ -35,7 +35,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("crowdsim", flag.ContinueOnError)
 	var (
-		mechanism = fs.String("mechanism", "on-demand", "incentive mechanism: on-demand | fixed | steered | equal-weights | deadline-only | progress-only | neighbors-only")
+		mechanism = fs.String("mechanism", "on-demand", "incentive mechanism: on-demand | fixed | steered | equal-weights | deadline-only | progress-only | neighbors-only | auction | incentme")
 		algorithm = fs.String("algorithm", "auto", "task selection: dp | greedy | auto | greedy+2opt | beam")
 		users     = fs.Int("users", workload.DefaultNumUsers, "number of mobile users")
 		tasks     = fs.Int("tasks", workload.DefaultNumTasks, "number of sensing tasks")
@@ -334,6 +334,7 @@ func parseMechanism(s string) (sim.MechanismKind, error) {
 		sim.MechanismOnDemand, sim.MechanismFixed, sim.MechanismSteered,
 		sim.MechanismSteeredRaw, sim.MechanismEqualWeights, sim.MechanismDeadlineOnly,
 		sim.MechanismProgressOnly, sim.MechanismNeighborsOnly,
+		sim.MechanismAuction, sim.MechanismIncentMe,
 	}
 	for _, k := range kinds {
 		if k.String() == s {

@@ -24,6 +24,7 @@ import (
 	"paydemand/internal/demand"
 	"paydemand/internal/geo"
 	"paydemand/internal/incentive"
+	"paydemand/internal/mobility"
 	"paydemand/internal/server"
 	"paydemand/internal/stats"
 	"paydemand/internal/workload"
@@ -48,12 +49,14 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		nTasks     = fs.Int("tasks", workload.DefaultNumTasks, "number of sensing tasks")
 		required   = fs.Int("required", workload.DefaultRequired, "measurements per task")
 		seed       = fs.Int64("seed", 1, "scenario seed")
-		mechanism  = fs.String("mechanism", "on-demand", "incentive mechanism: on-demand | fixed | steered")
+		mechanism  = fs.String("mechanism", "on-demand", "incentive mechanism: on-demand | fixed | steered | auction | incentme")
 		budget     = fs.Float64("budget", 1000, "reward budget B")
 		lambda     = fs.Float64("lambda", 0.5, "per-level reward increment")
 		levels     = fs.Int("levels", 5, "demand levels N")
 		area       = fs.Float64("area", workload.DefaultAreaSide, "square area side in meters")
 		radius     = fs.Float64("radius", 500, "neighbor radius R in meters")
+		costPerM   = fs.Float64("cost-per-meter", 0.01, "worker travel cost per meter (feeds auction bids)")
+		mobUncert  = fs.Float64("mobility-uncertainty", 0, "mobility forecast uncertainty in [0,1] (feeds incentme)")
 		roundEvery = fs.Duration("round-every", 2*time.Second, "auto-advance cadence (0 = manual via POST /v1/advance)")
 		maxRounds  = fs.Int("max-rounds", 0, "round horizon (0 = largest deadline)")
 		shards     = fs.Int("shards", 0, "geographic regions the round engine is partitioned into (0 = single engine); results are identical at any setting")
@@ -84,12 +87,23 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	case "on-demand":
 		mech, err = incentive.NewPaperOnDemand(scheme)
 	case "fixed":
-		mech, err = incentive.NewFixed(scheme, rng.Split())
+		mech, err = incentive.NewFixed(scheme)
 	case "steered":
 		mech, err = incentive.NewBudgetScaledSteered(scheme.MaxReward())
+	case "auction":
+		mech, err = incentive.NewAuction(), nil
+	case "incentme":
+		mech, err = incentive.NewIncentMe(scheme)
 	default:
 		return fmt.Errorf("unknown mechanism %q", *mechanism)
 	}
+	if err != nil {
+		return err
+	}
+	// Workers register over the wire, so the forecast has no fleet size to
+	// anchor an equilibrium on: it decays the observed neighbor count
+	// toward zero at the configured uncertainty.
+	forecast, err := mobility.NewForecast(mobility.Stationary{}, *mobUncert, sc.Area, *radius, 0)
 	if err != nil {
 		return err
 	}
@@ -102,6 +116,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		MaxRounds:      *maxRounds,
 		Shards:         *shards,
 		Logger:         logger,
+		RNG:            rng.Split(),
+		Budget:         *budget,
+		CostPerMeter:   *costPerM,
+		Forecast:       forecast,
 	})
 	if err != nil {
 		return err

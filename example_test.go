@@ -102,10 +102,10 @@ func ExampleGreedySelector() {
 func ExampleNewOnDemandMechanism() {
 	scheme, _ := paydemand.NewRewardScheme(1000, 400, 0.5, 5)
 	mech, _ := paydemand.NewOnDemandMechanism(scheme)
-	rewards, err := mech.Rewards(2, []paydemand.TaskView{
+	rewards, err := mech.Rewards(&paydemand.RoundInput{Round: 2, Views: []paydemand.TaskView{
 		{ID: 1, Deadline: 2, Required: 20, Received: 0, Neighbors: 0},
 		{ID: 2, Deadline: 15, Required: 20, Received: 18, Neighbors: 9},
-	})
+	}})
 	if err != nil {
 		panic(err)
 	}

@@ -16,6 +16,8 @@ var DeterministicPackages = []string{
 	"paydemand/internal/experiments",
 	"paydemand/internal/metrics",
 	"paydemand/internal/server",
+	"paydemand/internal/incentive",
+	"paydemand/internal/mobility",
 }
 
 // isDeterministicPackage reports whether the pass's package is subject to

@@ -21,6 +21,13 @@ func TestMapiterOutOfScope(t *testing.T) {
 	analysistest.Run(t, analysis.Mapiter, "mapiter_outofscope", "paydemand/internal/geo")
 }
 
+// TestMapiterIncentive proves the incentive package joined the
+// deterministic scope and pins the auction-specific contract: winner
+// selection iterates bids in sorted slice order, never in map order.
+func TestMapiterIncentive(t *testing.T) {
+	analysistest.Run(t, analysis.Mapiter, "mapiter_incentive", "paydemand/internal/incentive")
+}
+
 func TestDetrand(t *testing.T) {
 	analysistest.Run(t, analysis.Detrand, "detrand", "paydemand/internal/sim")
 }

@@ -1,0 +1,65 @@
+// Fixture for the mapiter analyzer, type-checked as the deterministic
+// package paydemand/internal/incentive: auction winner selection must
+// iterate bids in sorted slice order, never in map order.
+package incentive
+
+import "sort"
+
+type bid struct {
+	worker int
+	cost   float64
+}
+
+// winnersFromMap is the bug the scope extension exists to catch: clearing
+// an auction straight off a worker-keyed map makes the winner prefix (and
+// with it every payment) depend on map iteration order.
+func winnersFromMap(bids map[int]float64, budget float64) []int {
+	var winners []int
+	spent := 0.0
+	for w, c := range bids { // want `range over map bids: iteration order is nondeterministic`
+		if spent+c > budget {
+			break
+		}
+		spent += c
+		winners = append(winners, w)
+	}
+	return winners
+}
+
+// winnersSorted is the accepted shape: gather the bids, sort by (cost,
+// worker), then clear over the deterministic slice.
+func winnersSorted(bids map[int]float64, budget float64) []int {
+	order := make([]bid, 0, len(bids))
+	//paylint:sorted bids are re-sorted by (cost, worker) immediately below
+	for w, c := range bids { // accepted: directive with reason
+		order = append(order, bid{worker: w, cost: c})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].cost != order[j].cost {
+			return order[i].cost < order[j].cost
+		}
+		return order[i].worker < order[j].worker
+	})
+	var winners []int
+	spent := 0.0
+	for _, b := range order {
+		if spent+b.cost > budget {
+			break
+		}
+		spent += b.cost
+		winners = append(winners, b.worker)
+	}
+	return winners
+}
+
+// keysSorted is the canonical gather-keys-then-sort pattern in auction
+// clothing: worker IDs gathered and sorted before bids are read back in
+// ID order.
+func keysSorted(bids map[int]float64) []int {
+	ids := make([]int, 0, len(bids))
+	for w := range bids { // accepted: sorted before use
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -162,6 +162,13 @@ func (c Config) Demand(round int, in Inputs, maxNeighbors int) (float64, error) 
 // maximum neighbor count N_max is taken over the provided inputs, as in
 // Eq. 5.
 func (c Config) Demands(round int, inputs []Inputs) ([]float64, error) {
+	return c.DemandsInto(round, inputs, make([]float64, 0, len(inputs)))
+}
+
+// DemandsInto is the recycled-scratch form of Demands: it truncates out,
+// appends one raw demand per input, and returns the (possibly regrown)
+// slice. A call whose out already has capacity allocates nothing.
+func (c Config) DemandsInto(round int, inputs []Inputs, out []float64) ([]float64, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,13 +178,13 @@ func (c Config) Demands(round int, inputs []Inputs) ([]float64, error) {
 			maxNeighbors = in.Neighbors
 		}
 	}
-	out := make([]float64, len(inputs))
+	out = out[:0]
 	for i, in := range inputs {
 		d, err := c.Demand(round, in, maxNeighbors)
 		if err != nil {
 			return nil, fmt.Errorf("demand: task %d: %w", i, err)
 		}
-		out[i] = d
+		out = append(out, d)
 	}
 	return out, nil
 }
@@ -199,6 +206,19 @@ func (c Config) Normalize(d float64) float64 {
 // NormalizedDemands computes Demands and normalizes each entry.
 func (c Config) NormalizedDemands(round int, inputs []Inputs) ([]float64, error) {
 	ds, err := c.Demands(round, inputs)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range ds {
+		ds[i] = c.Normalize(d)
+	}
+	return ds, nil
+}
+
+// NormalizedDemandsInto is the recycled-scratch form of NormalizedDemands,
+// with DemandsInto's reuse contract.
+func (c Config) NormalizedDemandsInto(round int, inputs []Inputs, out []float64) ([]float64, error) {
+	ds, err := c.DemandsInto(round, inputs, out)
 	if err != nil {
 		return nil, err
 	}

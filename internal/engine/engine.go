@@ -15,10 +15,12 @@
 //     centralized reverse auction instead of published prices.
 //
 // All per-round storage — the open-task snapshot, the neighbor grid, the
-// mechanism's task views, the reward bookkeeping, and the shared
+// mechanism's task views, the assembled mechanism input (bids, budget,
+// forecast), the published reward map, and the shared
 // selection.RoundContext — is grow-only scratch recycled across rounds,
-// so a steady-state Reprice allocates nothing beyond the reward map the
-// mechanism returns. Because of that scratch, an Engine is NOT safe for
+// so a steady-state Reprice allocates nothing at all: mechanisms write
+// into an engine-owned map through RewardsInto, and the engine republishes
+// that map each round. Because of that scratch, an Engine is NOT safe for
 // concurrent mutation: drivers serialize BeginRound/Reprice/Commit calls
 // (the simulator is single-threaded between rounds; the HTTP platform
 // holds its mutex). Read-only accessors, ProblemInto included, are safe
@@ -62,6 +64,25 @@ type Config struct {
 	// task is not published on the wire); the simulator keeps the
 	// historical behavior of offering unpriced open tasks at reward 0.
 	RequirePriced bool
+
+	// The remaining fields back the mechanism capabilities (see
+	// incentive.Capabilities). Each is required exactly when the
+	// mechanism's Requires() mask declares the matching capability; New
+	// and Reprice reject configurations that cannot supply a declared
+	// capability.
+
+	// RNG is the mechanism's seeded stream (incentive.CapRNG).
+	RNG *stats.RNG
+	// Budget is the campaign budget handed to budget-aware mechanisms
+	// (incentive.CapBudget).
+	Budget float64
+	// BidCostPerMeter converts a worker's travel estimate — the distance
+	// from its location to the nearest open task — into the claimed cost
+	// of its bid (incentive.CapBids).
+	BidCostPerMeter float64
+	// Forecast predicts future neighbor counts for mobility-aware
+	// mechanisms (incentive.CapMobility).
+	Forecast incentive.ForecastProvider
 }
 
 // Engine is the round state machine. Create with New; see the package
@@ -78,10 +99,13 @@ type Engine struct {
 	mean    float64
 
 	// Grow-only per-round scratch.
-	grid     geo.GridIndex
-	viewBuf  []incentive.TaskView
-	taskLocs []geo.Point
-	closed   []task.ID
+	grid      geo.GridIndex
+	viewBuf   []incentive.TaskView
+	taskLocs  []geo.Point
+	closed    []task.ID
+	in        incentive.RoundInput
+	bidBuf    []incentive.Bid
+	rewardBuf map[task.ID]float64
 
 	// Shared-context lease state (see context.go).
 	cur  *lease
@@ -96,7 +120,38 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Board == nil {
 		return nil, errors.New("engine: nil board")
 	}
-	return &Engine{cfg: cfg, board: cfg.Board}, nil
+	e := &Engine{cfg: cfg, board: cfg.Board}
+	if err := e.checkCapabilities(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// checkCapabilities verifies that the configuration can supply every
+// capability the mechanism declares, so a missing input fails at
+// construction (and again at reprice, covering SetMechanism swaps) rather
+// than as a nil dereference mid-campaign.
+func (e *Engine) checkCapabilities() error {
+	m := e.cfg.Mechanism
+	if m == nil {
+		return nil
+	}
+	req := m.Requires()
+	if req.Has(incentive.CapBids) && !(e.cfg.BidCostPerMeter > 0) {
+		return fmt.Errorf("engine: mechanism %s requires worker bids but Config.BidCostPerMeter is %v, want > 0",
+			m.Name(), e.cfg.BidCostPerMeter)
+	}
+	if req.Has(incentive.CapBudget) && !(e.cfg.Budget > 0) {
+		return fmt.Errorf("engine: mechanism %s requires a budget but Config.Budget is %v, want > 0",
+			m.Name(), e.cfg.Budget)
+	}
+	if req.Has(incentive.CapMobility) && e.cfg.Forecast == nil {
+		return fmt.Errorf("engine: mechanism %s requires a mobility forecast but Config.Forecast is nil", m.Name())
+	}
+	if req.Has(incentive.CapRNG) && e.cfg.RNG == nil {
+		return fmt.Errorf("engine: mechanism %s requires a seeded stream but Config.RNG is nil", m.Name())
+	}
+	return nil
 }
 
 // Board exposes the task board the engine runs over.
@@ -160,31 +215,66 @@ func (e *Engine) Reprice(userLocs []geo.Point) error {
 	if err != nil {
 		return err
 	}
-	return e.RepriceViews(views)
+	return e.RepriceViews(views, userLocs)
 }
 
 // RepriceViews is the pricing half of Reprice over caller-supplied task
-// views: mechanism consultation, board-order mean, reward validation,
-// shared-context rebuild, publication. views must hold one entry per
-// open-snapshot task, in board order — normally the slice NeighborViews
-// returned, but the geo-sharded engine builds it by merging per-region
-// neighbor counts so pricing still happens once, globally (the demand
-// normalization of Eq. 5 couples every task through the max neighbor
-// count, so pricing cannot be sharded without changing output).
-func (e *Engine) RepriceViews(views []incentive.TaskView) error {
+// views: mechanism input assembly, mechanism consultation, board-order
+// mean, reward validation, shared-context rebuild, publication. views must
+// hold one entry per open-snapshot task, in board order — normally the
+// slice NeighborViews returned, but the geo-sharded engine builds it by
+// merging per-region neighbor counts so pricing still happens once,
+// globally (the demand normalization of Eq. 5 couples every task through
+// the max neighbor count, so pricing cannot be sharded without changing
+// output). userLocs is the round's full user-location slice in user order;
+// it feeds bid construction for mechanisms that declare the bids
+// capability and may be nil otherwise. The sharded engine passes the same
+// global slice it partitioned, so assembled inputs — bid workers, costs,
+// ordering — are byte-identical to the unsharded engine's.
+func (e *Engine) RepriceViews(views []incentive.TaskView, userLocs []geo.Point) error {
 	if len(e.open) == 0 {
 		return nil
 	}
 	if e.cfg.Mechanism == nil {
 		return errors.New("engine: reprice without a mechanism")
 	}
+	if err := e.checkCapabilities(); err != nil {
+		return err
+	}
 	if len(views) != len(e.open) {
 		return fmt.Errorf("engine: %d views for %d open tasks", len(views), len(e.open))
 	}
-	rewards, err := e.cfg.Mechanism.Rewards(e.round, views)
-	if err != nil {
+	// Assemble exactly the inputs the mechanism declares. The RoundInput
+	// and the reward map are engine-owned scratch recycled every round;
+	// mechanisms consume them synchronously inside RewardsInto.
+	req := e.cfg.Mechanism.Requires()
+	e.in = incentive.RoundInput{Round: e.round, Views: views}
+	if req.Has(incentive.CapBids) {
+		e.in.Bids = e.buildBids(userLocs, views)
+	}
+	if req.Has(incentive.CapBudget) {
+		e.in.Budget = e.cfg.Budget
+	}
+	if req.Has(incentive.CapMobility) {
+		e.in.Mobility = e.cfg.Forecast
+	}
+	if req.Has(incentive.CapRNG) {
+		e.in.RNG = e.cfg.RNG
+	}
+	if e.rewardBuf == nil {
+		e.rewardBuf = make(map[task.ID]float64, len(views))
+	} else {
+		clear(e.rewardBuf)
+	}
+	// Unpublish before consulting the mechanism: clearing the recycled map
+	// invalidates a previously published alias of it, and on error nothing
+	// may stay published.
+	e.rewards = nil
+	e.mean = 0
+	if err := e.cfg.Mechanism.RewardsInto(&e.in, e.rewardBuf); err != nil {
 		return err
 	}
+	rewards := e.rewardBuf
 	// A mechanism may legally return no rewards for open tasks (for
 	// example when its budget is exhausted); the mean must then be zero,
 	// not 0/0 = NaN, which would poison every aggregate built on it.
@@ -254,6 +344,29 @@ func (e *Engine) NeighborViews(userLocs []geo.Point) ([]incentive.TaskView, erro
 	return views, nil
 }
 
+// buildBids derives one claimed-cost bid per user for mechanisms that
+// declare the bids capability: worker i (the index into userLocs) claims
+// BidCostPerMeter times the distance from its location to the nearest
+// open task — the cheapest travel that could yield it a measurement. The
+// returned slice is engine-owned scratch, in user order, valid until the
+// next Reprice.
+func (e *Engine) buildBids(userLocs []geo.Point, views []incentive.TaskView) []incentive.Bid {
+	e.bidBuf = e.bidBuf[:0]
+	for i, loc := range userLocs {
+		best := math.Inf(1)
+		for _, v := range views {
+			if d := loc.Dist(v.Location); d < best {
+				best = d
+			}
+		}
+		if len(views) == 0 {
+			best = 0
+		}
+		e.bidBuf = append(e.bidBuf, incentive.Bid{Worker: i, Cost: e.cfg.BidCostPerMeter * best})
+	}
+	return e.bidBuf
+}
+
 // resetContext rebuilds the shared solver context over the open snapshot's
 // task locations, recycling a context no solver holds anymore.
 func (e *Engine) resetContext() error {
@@ -281,7 +394,8 @@ func (e *Engine) Round() int { return e.round }
 func (e *Engine) Open() []*task.State { return e.open }
 
 // Rewards returns the published reward map, nil when nothing is priced.
-// The map is the mechanism's; the engine never mutates it.
+// The map is engine-owned scratch recycled by the next Reprice: read it
+// before the round advances and do not retain it.
 func (e *Engine) Rewards() map[task.ID]float64 { return e.rewards }
 
 // RewardFor returns the published reward of one task and whether the

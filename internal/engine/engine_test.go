@@ -21,8 +21,26 @@ type stubMechanism struct {
 
 func (stubMechanism) Name() string { return "stub" }
 
-func (m stubMechanism) Rewards(int, []incentive.TaskView) (map[task.ID]float64, error) {
-	return m.rewards, m.err
+func (stubMechanism) Requires() incentive.Capabilities { return 0 }
+
+func (m stubMechanism) RewardsInto(in *incentive.RoundInput, out map[task.ID]float64) error {
+	if m.err != nil {
+		return m.err
+	}
+	for _, v := range in.Views {
+		if r, ok := m.rewards[v.ID]; ok {
+			out[v.ID] = r
+		}
+	}
+	return nil
+}
+
+func (m stubMechanism) Rewards(in *incentive.RoundInput) (map[task.ID]float64, error) {
+	out := make(map[task.ID]float64, len(in.Views))
+	if err := m.RewardsInto(in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func testBoard(t *testing.T) *task.Board {

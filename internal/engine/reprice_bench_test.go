@@ -7,6 +7,7 @@ import (
 	"paydemand/internal/demand"
 	"paydemand/internal/geo"
 	"paydemand/internal/incentive"
+	"paydemand/internal/mobility"
 	"paydemand/internal/selection"
 	"paydemand/internal/stats"
 	"paydemand/internal/task"
@@ -15,10 +16,12 @@ import (
 // benchWorld is one synthetic repricing workload: a board of open tasks
 // and a user population, both uniform over the area.
 type benchWorld struct {
-	board *task.Board
-	mech  incentive.Mechanism
-	area  geo.Rect
-	users []geo.Point
+	board  *task.Board
+	mech   incentive.Mechanism
+	scheme incentive.RewardScheme
+	budget float64
+	area   geo.Rect
+	users  []geo.Point
 }
 
 func newBenchWorld(b *testing.B, users, tasks int) benchWorld {
@@ -53,44 +56,75 @@ func newBenchWorld(b *testing.B, users, tasks int) benchWorld {
 	for i := range locs {
 		locs[i] = geo.Pt(rng.Uniform(0, 3000), rng.Uniform(0, 3000))
 	}
-	return benchWorld{board: board, mech: mech, area: area, users: locs}
+	return benchWorld{board: board, mech: mech, scheme: scheme, budget: budget, area: area, users: locs}
+}
+
+// benchEngine builds a long-lived engine priced by the named mechanism,
+// with whatever capability inputs it declares wired into the config.
+func benchEngine(b *testing.B, w benchWorld, kind string) *Engine {
+	b.Helper()
+	cfg := Config{Board: w.board, Area: w.area, NeighborRadius: 500}
+	var err error
+	switch kind {
+	case "on-demand":
+		cfg.Mechanism = w.mech
+	case "fixed":
+		cfg.Mechanism, err = incentive.NewFixed(w.scheme)
+		cfg.RNG = stats.NewRNG(1)
+	case "auction":
+		cfg.Mechanism = incentive.NewAuction()
+		cfg.Budget = w.budget
+		cfg.BidCostPerMeter = 0.002
+	case "incentme":
+		cfg.Mechanism, err = incentive.NewIncentMe(w.scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Forecast, err = mobility.NewForecast(mobility.Stationary{}, 0.2, w.area, 500, len(w.users))
+	default:
+		b.Fatalf("unknown bench mechanism %q", kind)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
 }
 
 // BenchmarkReprice measures one full round repricing — open snapshot,
 // neighbor counting, mechanism pricing, shared context build — over a
-// users x tasks grid, comparing the engine's recycled scratch against the
-// pre-engine approach of rebuilding every structure per round.
+// mechanism x users x tasks grid, comparing the engine's recycled
+// scratch against the pre-engine approach of rebuilding every structure
+// per round.
 //
-//   - engine: BeginRound + Reprice on one long-lived Engine. Steady state
-//     allocates only the reward map the mechanism returns (the grid,
-//     views, and context are grow-only scratch; see
-//     TestRepriceSteadyStateAllocs).
+//   - engine/<mechanism>: BeginRound + Reprice on one long-lived Engine,
+//     priced by the named mechanism with its capability inputs wired in.
+//     Steady state allocates nothing (the grid, views, bids, rewards, and
+//     context are grow-only scratch; see TestRepriceSteadyStateAllocs).
 //   - rebuild: what the HTTP platform did before the engine existed —
-//     a fresh grid index, view slice, and solver context every round.
+//     a fresh grid index, view slice, and solver context every round,
+//     priced on-demand.
 func BenchmarkReprice(b *testing.B) {
 	for _, users := range []int{50, 200, 1000} {
 		for _, tasks := range []int{20, 100} {
 			name := fmt.Sprintf("users=%d/tasks=%d", users, tasks)
-			b.Run("engine/"+name, func(b *testing.B) {
-				w := newBenchWorld(b, users, tasks)
-				eng, err := New(Config{
-					Board:          w.board,
-					Mechanism:      w.mech,
-					Area:           w.area,
-					NeighborRadius: 500,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					eng.BeginRound(1)
-					if err := eng.Reprice(w.users); err != nil {
-						b.Fatal(err)
+			for _, kind := range []string{"on-demand", "fixed", "auction", "incentme"} {
+				b.Run("engine/"+kind+"/"+name, func(b *testing.B) {
+					w := newBenchWorld(b, users, tasks)
+					eng := benchEngine(b, w, kind)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						eng.BeginRound(1)
+						if err := eng.Reprice(w.users); err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
-			})
+				})
+			}
 			b.Run("rebuild/"+name, func(b *testing.B) {
 				w := newBenchWorld(b, users, tasks)
 				b.ReportAllocs()
@@ -114,7 +148,7 @@ func BenchmarkReprice(b *testing.B) {
 						}
 						locs[j] = st.Location
 					}
-					rewards, err := w.mech.Rewards(1, views)
+					rewards, err := w.mech.Rewards(&incentive.RoundInput{Round: 1, Views: views})
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -146,6 +146,7 @@ var registry = map[string]Runner{
 
 	"ext-sat-vs-wst":        ExtSATvsWST,
 	"ext-reward-trajectory": ExtRewardTrajectory,
+	"ext-truthfulness":      ExtTruthfulness,
 }
 
 // PaperIDs returns the IDs of the paper's own tables and figures, sorted,

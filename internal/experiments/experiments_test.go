@@ -30,9 +30,9 @@ func TestIDsComplete(t *testing.T) {
 			t.Errorf("PaperIDs[%d] = %q, want %q", i, got[i], wantPaper[i])
 		}
 	}
-	// The full registry adds the ablations.
+	// The full registry adds the ablations and extensions.
 	all := IDs()
-	if len(all) != len(wantPaper)+8 {
+	if len(all) != len(wantPaper)+9 {
 		t.Errorf("IDs = %v", all)
 	}
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTruthfulnessGolden pins the exact rendering of the (simulation-free,
+// fully deterministic) truthfulness audit at a small trial count, so any
+// change to the auction's clearing or payment rule shows up as a diff.
+func TestTruthfulnessGolden(t *testing.T) {
+	f, err := Run("ext-truthfulness", Options{Trials: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderTable(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	want := `== ext-truthfulness: Reverse auction truthfulness audit ==
+note: Extension beyond the paper: each point deviates every worker alone against a truthful field and keeps the best utility gain found. A gain series pinned at zero is the empirical signature of dominant-strategy truthfulness; the payout series never exceeding 1 is budget feasibility.
+misreport factor (bid = factor x true cost)  best utility gain from misreporting ($)  truthful payout / budget
+                                     0.2500                                        0                    0.9894
+                                     0.5000                                        0                    0.9725
+                                     0.7500                                        0                    0.9852
+                                     1.2500                                        0                    0.9800
+                                     1.5000                                        0                    0.9842
+                                          2                                        0                    0.9743
+`
+	if got := sb.String(); got != want {
+		t.Errorf("rendering changed.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTruthfulnessProperties asserts the two mechanism-design invariants
+// the figure visualizes, over more trials and at any parallelism: no
+// single deviation ever gains, and the truthful payout never exceeds the
+// budget.
+func TestTruthfulnessProperties(t *testing.T) {
+	f, err := Run("ext-truthfulness", Options{Trials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(f.Series))
+	}
+	for i, g := range f.Series[0].Y {
+		if g > 1e-9 {
+			t.Errorf("factor %v: mean best misreport gain %v > 0 — auction is manipulable",
+				f.Series[0].X[i], g)
+		}
+	}
+	for i, r := range f.Series[1].Y {
+		if r > 1+1e-9 {
+			t.Errorf("factor %v: payout ratio %v exceeds the budget", f.Series[1].X[i], r)
+		}
+		if r <= 0 {
+			t.Errorf("factor %v: payout ratio %v — auction paid nothing", f.Series[1].X[i], r)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 package incentive
 
 import (
-	"paydemand/internal/stats"
+	"errors"
+
 	"paydemand/internal/task"
 )
 
@@ -10,21 +11,20 @@ import (
 // and its reward never changes in later rounds.
 type Fixed struct {
 	scheme RewardScheme
-	rng    *stats.RNG
 	levels map[task.ID]int
 }
 
 var _ Mechanism = (*Fixed)(nil)
 
-// NewFixed constructs the mechanism. rng drives the one-time random level
-// draw per task.
-func NewFixed(scheme RewardScheme, rng *stats.RNG) (*Fixed, error) {
+// NewFixed constructs the mechanism. The one-time random level draw per
+// task comes from the RoundInput's RNG (the CapRNG capability), so the
+// same seeded stream prices identically wherever the mechanism runs.
+func NewFixed(scheme RewardScheme) (*Fixed, error) {
 	if err := scheme.Validate(); err != nil {
 		return nil, err
 	}
 	return &Fixed{
 		scheme: scheme,
-		rng:    rng,
 		levels: make(map[task.ID]int),
 	}, nil
 }
@@ -32,20 +32,31 @@ func NewFixed(scheme RewardScheme, rng *stats.RNG) (*Fixed, error) {
 // Name implements Mechanism.
 func (m *Fixed) Name() string { return "fixed" }
 
-// Rewards implements Mechanism. The first time a task is seen it draws a
-// uniform level in [1, N]; afterwards the memoized level is reused, so the
-// reward is constant across rounds.
-func (m *Fixed) Rewards(_ int, views []TaskView) (map[task.ID]float64, error) {
-	out := make(map[task.ID]float64, len(views))
-	for _, v := range views {
+// Requires implements Mechanism: the level draws need the seeded stream.
+func (m *Fixed) Requires() Capabilities { return CapRNG }
+
+// Rewards implements Mechanism.
+func (m *Fixed) Rewards(in *RoundInput) (map[task.ID]float64, error) {
+	return allocRewards(m, in)
+}
+
+// RewardsInto implements Mechanism. The first time a task is seen it draws
+// a uniform level in [1, N] from in.RNG; afterwards the memoized level is
+// reused, so the reward is constant across rounds. Draws happen in view
+// order — the stream consumption is part of the byte-identity contract.
+func (m *Fixed) RewardsInto(in *RoundInput, out map[task.ID]float64) error {
+	if in.RNG == nil {
+		return errors.New("incentive: fixed: RoundInput.RNG is nil (mechanism requires the rng capability)")
+	}
+	for _, v := range in.Views {
 		lvl, ok := m.levels[v.ID]
 		if !ok {
-			lvl = m.rng.IntBetween(1, m.scheme.Levels.N)
+			lvl = in.RNG.IntBetween(1, m.scheme.Levels.N)
 			m.levels[v.ID] = lvl
 		}
 		out[v.ID] = m.scheme.Reward(lvl)
 	}
-	return out, nil
+	return nil
 }
 
 // Level returns the memoized level for a task and whether it has been

@@ -41,7 +41,7 @@ func TestOnDemandRewardsWithinSchemeRange(t *testing.T) {
 	if m.Name() != "on-demand" {
 		t.Errorf("Name = %q", m.Name())
 	}
-	rewards, err := m.Rewards(1, testViews())
+	rewards, err := m.Rewards(&RoundInput{Round: 1, Views: testViews()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestOnDemandDirectionality(t *testing.T) {
 		{ID: 1, Deadline: 2, Required: 20, Received: 0, Neighbors: 0},
 		{ID: 2, Deadline: 15, Required: 20, Received: 19, Neighbors: 10},
 	}
-	rewards, err := m.Rewards(2, views)
+	rewards, err := m.Rewards(&RoundInput{Round: 2, Views: views})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestOnDemandDemandLevels(t *testing.T) {
 		}
 	}
 	// Rewards must equal scheme.Reward(level) exactly.
-	rewards, err := m.Rewards(2, testViews())
+	rewards, err := m.Rewards(&RoundInput{Round: 2, Views: testViews()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,22 +113,23 @@ func TestNewOnDemandRejectsInvalid(t *testing.T) {
 }
 
 func TestFixedRewardsStableAcrossRounds(t *testing.T) {
-	m, err := NewFixed(paperScheme(t), stats.NewRNG(42))
+	m, err := NewFixed(paperScheme(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Name() != "fixed" {
 		t.Errorf("Name = %q", m.Name())
 	}
+	rng := stats.NewRNG(42)
 	views := testViews()
-	r1, err := m.Rewards(1, views)
+	r1, err := m.Rewards(&RoundInput{Round: 1, Views: views, RNG: rng})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Mutate the views heavily; fixed rewards must not move.
 	views[0].Received = 19
 	views[1].Neighbors = 0
-	r2, err := m.Rewards(7, views)
+	r2, err := m.Rewards(&RoundInput{Round: 7, Views: views, RNG: rng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFixedRewardsStableAcrossRounds(t *testing.T) {
 }
 
 func TestFixedLevelsWithinRange(t *testing.T) {
-	m, err := NewFixed(paperScheme(t), stats.NewRNG(7))
+	m, err := NewFixed(paperScheme(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFixedLevelsWithinRange(t *testing.T) {
 	for i := range views {
 		views[i] = TaskView{ID: task.ID(i), Deadline: 10, Required: 20}
 	}
-	if _, err := m.Rewards(1, views); err != nil {
+	if _, err := m.Rewards(&RoundInput{Round: 1, Views: views, RNG: stats.NewRNG(7)}); err != nil {
 		t.Fatal(err)
 	}
 	seen := map[int]bool{}
@@ -171,7 +172,7 @@ func TestFixedLevelsWithinRange(t *testing.T) {
 }
 
 func TestNewFixedRejectsInvalidScheme(t *testing.T) {
-	if _, err := NewFixed(RewardScheme{}, stats.NewRNG(1)); err == nil {
+	if _, err := NewFixed(RewardScheme{}); err == nil {
 		t.Error("invalid scheme accepted")
 	}
 }
@@ -225,7 +226,7 @@ func TestSteeredQuality(t *testing.T) {
 
 func TestSteeredRewards(t *testing.T) {
 	m := NewSteered()
-	rewards, err := m.Rewards(3, testViews())
+	rewards, err := m.Rewards(&RoundInput{Round: 3, Views: testViews()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestSteeredValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("delta > 1 accepted")
 	}
-	if _, err := bad.Rewards(1, testViews()); err == nil {
+	if _, err := bad.Rewards(&RoundInput{Round: 1, Views: testViews()}); err == nil {
 		t.Error("Rewards with bad params succeeded")
 	}
 	bad2 := &Steered{Rc: -1, Mu: 100, Delta: 0.2}

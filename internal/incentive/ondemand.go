@@ -15,6 +15,10 @@ import (
 type OnDemand struct {
 	demandCfg demand.Config
 	scheme    RewardScheme
+
+	// Grow-only scratch for the hot path; reused across rounds.
+	inputs []demand.Inputs
+	norm   []float64
 }
 
 var _ Mechanism = (*OnDemand)(nil)
@@ -34,31 +38,40 @@ func NewOnDemand(demandCfg demand.Config, scheme RewardScheme) (*OnDemand, error
 // Name implements Mechanism.
 func (m *OnDemand) Name() string { return "on-demand" }
 
+// Requires implements Mechanism: the demand factors need only the views.
+func (m *OnDemand) Requires() Capabilities { return 0 }
+
 // Scheme returns the mechanism's reward scheme.
 func (m *OnDemand) Scheme() RewardScheme { return m.scheme }
 
 // DemandConfig returns the mechanism's demand-indicator configuration.
 func (m *OnDemand) DemandConfig() demand.Config { return m.demandCfg }
 
-// Rewards implements Mechanism. It evaluates Eqs. 2-7 for every view.
-func (m *OnDemand) Rewards(round int, views []TaskView) (map[task.ID]float64, error) {
-	inputs := make([]demand.Inputs, len(views))
-	for i, v := range views {
-		inputs[i] = demand.Inputs{
+// Rewards implements Mechanism.
+func (m *OnDemand) Rewards(in *RoundInput) (map[task.ID]float64, error) {
+	return allocRewards(m, in)
+}
+
+// RewardsInto implements Mechanism. It evaluates Eqs. 2-7 for every view,
+// reusing the mechanism's scratch so steady-state calls allocate nothing.
+func (m *OnDemand) RewardsInto(in *RoundInput, out map[task.ID]float64) error {
+	m.inputs = m.inputs[:0]
+	for _, v := range in.Views {
+		m.inputs = append(m.inputs, demand.Inputs{
 			Deadline:  v.Deadline,
 			Progress:  v.Progress(),
 			Neighbors: v.Neighbors,
-		}
+		})
 	}
-	norm, err := m.demandCfg.NormalizedDemands(round, inputs)
+	norm, err := m.demandCfg.NormalizedDemandsInto(in.Round, m.inputs, m.norm)
 	if err != nil {
-		return nil, fmt.Errorf("incentive: on-demand round %d: %w", round, err)
+		return fmt.Errorf("incentive: on-demand round %d: %w", in.Round, err)
 	}
-	out := make(map[task.ID]float64, len(views))
-	for i, v := range views {
+	m.norm = norm
+	for i, v := range in.Views {
 		out[v.ID] = m.scheme.RewardForDemand(norm[i])
 	}
-	return out, nil
+	return nil
 }
 
 // DemandLevels returns the demand level the mechanism would assign each

@@ -99,14 +99,21 @@ func (m *Steered) RewardAt(x int) float64 {
 	return m.Rc + m.Mu*(m.Quality(x+1)-m.Quality(x))
 }
 
+// Requires implements Mechanism: Eq. 13 needs only the views.
+func (m *Steered) Requires() Capabilities { return 0 }
+
 // Rewards implements Mechanism.
-func (m *Steered) Rewards(_ int, views []TaskView) (map[task.ID]float64, error) {
+func (m *Steered) Rewards(in *RoundInput) (map[task.ID]float64, error) {
+	return allocRewards(m, in)
+}
+
+// RewardsInto implements Mechanism.
+func (m *Steered) RewardsInto(in *RoundInput, out map[task.ID]float64) error {
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	out := make(map[task.ID]float64, len(views))
-	for _, v := range views {
+	for _, v := range in.Views {
 		out[v.ID] = m.RewardAt(v.Received)
 	}
-	return out, nil
+	return nil
 }

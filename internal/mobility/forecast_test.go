@@ -1,0 +1,117 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"paydemand/internal/geo"
+)
+
+func TestNewForecastValidation(t *testing.T) {
+	area := geo.Square(1000)
+	if _, err := NewForecast(nil, 0, area, 100, 10); err == nil {
+		t.Error("nil model accepted")
+	}
+	for _, u := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewForecast(Stationary{}, u, area, 100, 10); err == nil {
+			t.Errorf("uncertainty %v accepted", u)
+		}
+	}
+	if _, err := NewForecast(Stationary{}, 0, geo.Rect{Min: geo.Pt(1, 1)}, 100, 10); err == nil {
+		t.Error("invalid area accepted")
+	}
+	for _, r := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := NewForecast(Stationary{}, 0, area, r, 10); err == nil {
+			t.Errorf("radius %v accepted", r)
+		}
+	}
+	if _, err := NewForecast(Stationary{}, 0, area, 100, -1); err == nil {
+		t.Error("negative population accepted")
+	}
+}
+
+func TestForecastStationaryKeepsCurrent(t *testing.T) {
+	// Stationary users with no operator uncertainty never diffuse: the
+	// forecast is the current count at every horizon.
+	f, err := NewForecast(Stationary{}, 0, geo.Square(1000), 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []int{-3, 0, 1, 10, 100} {
+		if got := f.ExpectedNeighbors(7, h); got != 7 {
+			t.Errorf("h=%d: ExpectedNeighbors = %v, want 7", h, got)
+		}
+	}
+	if f.Name() != "stationary-forecast" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if f.Uncertainty() != 0 {
+		t.Errorf("Uncertainty = %v", f.Uncertainty())
+	}
+}
+
+func TestForecastConvergesToEquilibrium(t *testing.T) {
+	area := geo.Square(1000)
+	const users, radius = 100, 200.0
+	f, err := NewForecast(&RandomWaypoint{}, 0, area, radius, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := users * math.Pi * radius * radius / area.Area()
+	// Horizon 0 is the observation itself; long horizons forget it.
+	if got := f.ExpectedNeighbors(50, 0); got != 50 {
+		t.Errorf("h=0: %v, want 50", got)
+	}
+	if got := f.ExpectedNeighbors(50, 200); math.Abs(got-eq) > 1e-6 {
+		t.Errorf("h=200: %v, want equilibrium %v", got, eq)
+	}
+	// The mixture moves monotonically from the observation toward
+	// equilibrium (here the observation 50 sits above eq).
+	prev := f.ExpectedNeighbors(50, 0)
+	for h := 1; h <= 20; h++ {
+		cur := f.ExpectedNeighbors(50, h)
+		if cur > prev {
+			t.Fatalf("h=%d: forecast %v rose above h=%d's %v", h, cur, h-1, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestForecastUncertaintyAcceleratesMixing(t *testing.T) {
+	area := geo.Square(1000)
+	lo, err := NewForecast(&LevyWalk{}, 0.1, area, 150, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := NewForecast(&LevyWalk{}, 0.9, area, 150, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starting above equilibrium, higher uncertainty forgets the current
+	// observation faster.
+	if l, h := lo.ExpectedNeighbors(60, 3), hi.ExpectedNeighbors(60, 3); h >= l {
+		t.Errorf("uncertainty 0.9 forecast %v >= uncertainty 0.1 forecast %v", h, l)
+	}
+	// Full uncertainty collapses to equilibrium after one round even for
+	// stationary users.
+	full, err := NewForecast(Stationary{}, 1, area, 150, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := 80 * math.Pi * 150 * 150 / area.Area()
+	if got := full.ExpectedNeighbors(60, 1); math.Abs(got-eq) > 1e-9 {
+		t.Errorf("full-uncertainty h=1 forecast %v, want equilibrium %v", got, eq)
+	}
+}
+
+func TestForecastEquilibriumCappedAtPopulation(t *testing.T) {
+	// A radius larger than the area cannot promise more neighbors than
+	// there are users.
+	f, err := NewForecast(&RandomWaypoint{}, 1, geo.Square(100), 1000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.ExpectedNeighbors(0, 5); got != 9 {
+		t.Errorf("equilibrium = %v, want capped at 9", got)
+	}
+}

@@ -22,11 +22,20 @@ type failAfterMechanism struct {
 
 func (m failAfterMechanism) Name() string { return m.inner.Name() }
 
-func (m failAfterMechanism) Rewards(round int, views []incentive.TaskView) (map[task.ID]float64, error) {
-	if round >= m.failFrom {
-		return nil, fmt.Errorf("pricing backend down at round %d", round)
+func (m failAfterMechanism) Requires() incentive.Capabilities { return m.inner.Requires() }
+
+func (m failAfterMechanism) RewardsInto(in *incentive.RoundInput, out map[task.ID]float64) error {
+	if in.Round >= m.failFrom {
+		return fmt.Errorf("pricing backend down at round %d", in.Round)
 	}
-	return m.inner.Rewards(round, views)
+	return m.inner.RewardsInto(in, out)
+}
+
+func (m failAfterMechanism) Rewards(in *incentive.RoundInput) (map[task.ID]float64, error) {
+	if in.Round >= m.failFrom {
+		return nil, fmt.Errorf("pricing backend down at round %d", in.Round)
+	}
+	return m.inner.Rewards(in)
 }
 
 // TestAdvanceRepriceFailure is the regression for the stale-reward bug:

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"slices"
 	"sync"
 
 	"paydemand/internal/aggregate"
@@ -19,6 +20,7 @@ import (
 	"paydemand/internal/reputation"
 	"paydemand/internal/selection"
 	"paydemand/internal/shard"
+	"paydemand/internal/stats"
 	"paydemand/internal/task"
 	"paydemand/internal/wire"
 )
@@ -66,6 +68,26 @@ type Config struct {
 	Planner func() selection.Algorithm
 	// Logger receives operational logs; nil means slog.Default().
 	Logger *slog.Logger
+
+	// The remaining fields back the mechanism capabilities (see
+	// incentive.Capabilities and engine.Config); each is required exactly
+	// when Mechanism's Requires() mask declares the matching capability,
+	// which New verifies. Worker bids are derived from registered worker
+	// locations in ascending worker-ID order, so pricing is a
+	// deterministic function of the registered fleet.
+
+	// RNG is the mechanism's seeded stream (incentive.CapRNG).
+	RNG *stats.RNG
+	// Budget is the campaign budget handed to budget-aware mechanisms
+	// (incentive.CapBudget). Distinct from HardBudget, the wire-level
+	// payment cap.
+	Budget float64
+	// CostPerMeter converts a worker's travel estimate into its claimed
+	// bid cost (incentive.CapBids).
+	CostPerMeter float64
+	// Forecast predicts future neighbor counts for mobility-aware
+	// mechanisms (incentive.CapMobility).
+	Forecast incentive.ForecastProvider
 }
 
 // Platform is the HTTP crowdsensing platform. Create with New; it
@@ -97,8 +119,11 @@ type Platform struct {
 	workers map[int]geo.Point // worker id -> last known location
 	nextID  int
 	// locBuf is the grow-only worker-location scratch fed to the engine's
-	// reprice.
+	// reprice, assembled in ascending worker-ID order so the bid a
+	// mechanism sees for worker index i is a deterministic function of
+	// the registered fleet. idBuf is the matching grow-only ID scratch.
 	locBuf []geo.Point
+	idBuf  []int
 	// repriceErr is the error of the last failed reprice, cleared on
 	// success. While set, the engine publishes no rewards (it unpublishes
 	// on error) and GET /v1/round reports the failure instead of silently
@@ -158,20 +183,28 @@ func New(cfg Config) (*Platform, error) {
 	var eng engine.RoundEngine
 	if cfg.Shards > 0 {
 		eng, err = shard.New(shard.Config{
-			Board:          board,
-			Mechanism:      cfg.Mechanism,
-			Area:           cfg.Area,
-			NeighborRadius: cfg.NeighborRadius,
-			RequirePriced:  true,
-			Shards:         cfg.Shards,
+			Board:           board,
+			Mechanism:       cfg.Mechanism,
+			Area:            cfg.Area,
+			NeighborRadius:  cfg.NeighborRadius,
+			RequirePriced:   true,
+			Shards:          cfg.Shards,
+			RNG:             cfg.RNG,
+			Budget:          cfg.Budget,
+			BidCostPerMeter: cfg.CostPerMeter,
+			Forecast:        cfg.Forecast,
 		})
 	} else {
 		eng, err = engine.New(engine.Config{
-			Board:          board,
-			Mechanism:      cfg.Mechanism,
-			Area:           cfg.Area,
-			NeighborRadius: cfg.NeighborRadius,
-			RequirePriced:  true,
+			Board:           board,
+			Mechanism:       cfg.Mechanism,
+			Area:            cfg.Area,
+			NeighborRadius:  cfg.NeighborRadius,
+			RequirePriced:   true,
+			RNG:             cfg.RNG,
+			Budget:          cfg.Budget,
+			BidCostPerMeter: cfg.CostPerMeter,
+			Forecast:        cfg.Forecast,
 		})
 	}
 	if err != nil {
@@ -229,10 +262,15 @@ func (p *Platform) repriceLocked() error {
 		p.repriceErr = nil
 		return nil
 	}
+	ids := p.idBuf[:0]
+	for id := range p.workers {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	p.idBuf = ids
 	p.locBuf = p.locBuf[:0]
-	//paylint:sorted locs only feed GridIndex.CountWithin, and a count within a radius is order-independent
-	for _, loc := range p.workers {
-		p.locBuf = append(p.locBuf, loc)
+	for _, id := range ids {
+		p.locBuf = append(p.locBuf, p.workers[id])
 	}
 	p.repriceErr = p.eng.Reprice(p.locBuf)
 	return p.repriceErr

@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"paydemand/internal/demand"
+	"paydemand/internal/engine"
+	"paydemand/internal/geo"
+	"paydemand/internal/incentive"
+	"paydemand/internal/mobility"
+	"paydemand/internal/stats"
+)
+
+// TestCapabilityMechanismsMatchUnsharded extends the byte-identity
+// guarantee to the capability-consuming mechanisms: the auction's bids
+// are assembled once from the global user slice (never per region) and
+// the forecast is shared, so published rewards match the unsharded
+// engine exactly at every shard and worker count.
+func TestCapabilityMechanismsMatchUnsharded(t *testing.T) {
+	area := geo.Square(1000)
+	rng := stats.NewRNG(41)
+	tasks := randomTasks(rng, 25, area, 3)
+	users := randomUsers(rng, 300, area, 120)
+	scheme, err := incentive.SchemeFromBudget(1000, 25*3, 0.5, demand.LevelMapper{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forecast, err := mobility.NewForecast(&mobility.LevyWalk{}, 0.3, area, 150, len(users))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mechs := []struct {
+		name  string
+		build func(t *testing.T) incentive.Mechanism
+		cfg   Config
+	}{
+		{
+			name:  "auction",
+			build: func(*testing.T) incentive.Mechanism { return incentive.NewAuction() },
+			cfg:   Config{Budget: 500, BidCostPerMeter: 0.002},
+		},
+		{
+			name: "incentme",
+			build: func(t *testing.T) incentive.Mechanism {
+				m, err := incentive.NewIncentMe(scheme)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			},
+			cfg: Config{Forecast: forecast},
+		},
+	}
+	for _, mc := range mechs {
+		t.Run(mc.name, func(t *testing.T) {
+			ref, err := engine.New(engine.Config{
+				Board: newBoard(t, tasks), Mechanism: mc.build(t),
+				Area: area, NeighborRadius: 150,
+				Budget: mc.cfg.Budget, BidCostPerMeter: mc.cfg.BidCostPerMeter,
+				Forecast: mc.cfg.Forecast,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.BeginRound(1)
+			if err := ref.Reprice(users); err != nil {
+				t.Fatal(err)
+			}
+			if len(ref.Rewards()) == 0 {
+				t.Fatal("reference engine published nothing")
+			}
+
+			for _, R := range []int{1, 2, 4, 9} {
+				for _, workers := range []int{1, 8} {
+					t.Run(fmt.Sprintf("shards=%d/workers=%d", R, workers), func(t *testing.T) {
+						cfg := mc.cfg
+						cfg.Board = newBoard(t, tasks)
+						cfg.Mechanism = mc.build(t)
+						cfg.Area = area
+						cfg.NeighborRadius = 150
+						cfg.Shards = R
+						cfg.Workers = workers
+						s, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						s.BeginRound(1)
+						if err := s.Reprice(users); err != nil {
+							t.Fatal(err)
+						}
+						if got, want := s.MeanPublishedReward(), ref.MeanPublishedReward(); got != want {
+							t.Errorf("mean reward = %v, want %v", got, want)
+						}
+						for _, tk := range tasks {
+							got, gok := s.RewardFor(tk.ID)
+							want, wok := ref.RewardFor(tk.ID)
+							if got != want || gok != wok {
+								t.Errorf("RewardFor(%d) = %v,%v want %v,%v", tk.ID, got, gok, want, wok)
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}

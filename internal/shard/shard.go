@@ -63,6 +63,7 @@ import (
 	"paydemand/internal/incentive"
 	"paydemand/internal/metrics"
 	"paydemand/internal/selection"
+	"paydemand/internal/stats"
 	"paydemand/internal/task"
 )
 
@@ -93,6 +94,15 @@ type Config struct {
 	// 0 means one per GOMAXPROCS; 1 runs everything inline. Output is
 	// identical at any setting.
 	Workers int
+	// RNG, Budget, BidCostPerMeter and Forecast back the mechanism
+	// capabilities; all are forwarded to the inner (pricing) engine — see
+	// engine.Config. Capability inputs are assembled once, globally, from
+	// the same user-location slice the regions partition, so they are
+	// byte-identical to the unsharded engine's.
+	RNG             *stats.RNG
+	Budget          float64
+	BidCostPerMeter float64
+	Forecast        incentive.ForecastProvider
 }
 
 // region is one geographic shard: the rectangle it owns, the halo-
@@ -180,12 +190,16 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("shard: invalid area %v", cfg.Area)
 	}
 	inner, err := engine.New(engine.Config{
-		Board:          cfg.Board,
-		Mechanism:      cfg.Mechanism,
-		Area:           cfg.Area,
-		NeighborRadius: cfg.NeighborRadius,
-		DisableContext: cfg.DisableContext,
-		RequirePriced:  cfg.RequirePriced,
+		Board:           cfg.Board,
+		Mechanism:       cfg.Mechanism,
+		Area:            cfg.Area,
+		NeighborRadius:  cfg.NeighborRadius,
+		DisableContext:  cfg.DisableContext,
+		RequirePriced:   cfg.RequirePriced,
+		RNG:             cfg.RNG,
+		Budget:          cfg.Budget,
+		BidCostPerMeter: cfg.BidCostPerMeter,
+		Forecast:        cfg.Forecast,
 	})
 	if err != nil {
 		return nil, err
@@ -350,7 +364,10 @@ func (s *Engine) Reprice(userLocs []geo.Point) error {
 			return err
 		}
 	}
-	return s.inner.RepriceViews(views)
+	// Pricing consumes the same full, global user-location slice that was
+	// just partitioned, so capability inputs (bid workers, costs, order)
+	// cannot depend on the sharding.
+	return s.inner.RepriceViews(views, userLocs)
 }
 
 // countRegion is the neighbor-count worker: it snapshots region ri's

@@ -26,14 +26,24 @@ type recordingMechanism struct {
 
 func (m *recordingMechanism) Name() string { return "recording" }
 
-func (m *recordingMechanism) Rewards(round int, views []incentive.TaskView) (map[task.ID]float64, error) {
+func (m *recordingMechanism) Requires() incentive.Capabilities { return 0 }
+
+func (m *recordingMechanism) RewardsInto(in *incentive.RoundInput, out map[task.ID]float64) error {
 	m.calls++
-	m.views = append(m.views[:0], views...)
-	if m.rewards == nil {
-		m.rewards = make(map[task.ID]float64, len(views))
+	m.views = append(m.views[:0], in.Views...)
+	for _, v := range in.Views {
+		out[v.ID] = float64(v.ID) * 10
 	}
-	for _, v := range views {
-		m.rewards[v.ID] = float64(v.ID) * 10
+	return nil
+}
+
+func (m *recordingMechanism) Rewards(in *incentive.RoundInput) (map[task.ID]float64, error) {
+	if m.rewards == nil {
+		m.rewards = make(map[task.ID]float64, len(in.Views))
+	}
+	clear(m.rewards)
+	if err := m.RewardsInto(in, m.rewards); err != nil {
+		return nil, err
 	}
 	return m.rewards, nil
 }
@@ -252,7 +262,7 @@ func TestMultiRoundCampaignEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mech, err := incentive.NewFixed(scheme, stats.NewRNG(31))
+		mech, err := incentive.NewFixed(scheme)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,6 +325,7 @@ func TestMultiRoundCampaignEquivalence(t *testing.T) {
 	refBoard := newBoard(t, tasks)
 	ref, err := engine.New(engine.Config{
 		Board: refBoard, Mechanism: newMech(t), Area: area, NeighborRadius: 200,
+		RNG: stats.NewRNG(31),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -328,6 +339,7 @@ func TestMultiRoundCampaignEquivalence(t *testing.T) {
 				s, err := New(Config{
 					Board: board, Mechanism: newMech(t), Area: area, NeighborRadius: 200,
 					Shards: R, Workers: workers,
+					RNG: stats.NewRNG(31),
 				})
 				if err != nil {
 					t.Fatal(err)

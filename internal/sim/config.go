@@ -13,7 +13,6 @@ import (
 	"paydemand/internal/incentive"
 	"paydemand/internal/mobility"
 	"paydemand/internal/selection"
-	"paydemand/internal/stats"
 	"paydemand/internal/workload"
 )
 
@@ -43,7 +42,29 @@ const (
 	MechanismDeadlineOnly
 	MechanismProgressOnly
 	MechanismNeighborsOnly
+	// MechanismAuction is the budget-limited truthful reverse auction:
+	// workers bid travel-derived costs, the cheapest budget-feasible
+	// prefix wins, and every task is priced at the uniform critical
+	// payment.
+	MechanismAuction
+	// MechanismIncentMe prices tasks against forecast — not observed —
+	// user supply under the configured mobility model and the
+	// MobilityUncertainty knob.
+	MechanismIncentMe
 )
+
+// mechanismKinds lists every valid kind in declaration order, for
+// validation messages and CLI parsing.
+var mechanismKinds = []MechanismKind{
+	MechanismOnDemand, MechanismFixed, MechanismSteered, MechanismSteeredRaw,
+	MechanismEqualWeights, MechanismDeadlineOnly, MechanismProgressOnly,
+	MechanismNeighborsOnly, MechanismAuction, MechanismIncentMe,
+}
+
+// MechanismKinds returns every valid mechanism kind in declaration order.
+func MechanismKinds() []MechanismKind {
+	return append([]MechanismKind(nil), mechanismKinds...)
+}
 
 // String implements fmt.Stringer.
 func (k MechanismKind) String() string {
@@ -64,6 +85,10 @@ func (k MechanismKind) String() string {
 		return "progress-only"
 	case MechanismNeighborsOnly:
 		return "neighbors-only"
+	case MechanismAuction:
+		return "auction"
+	case MechanismIncentMe:
+		return "incentme"
 	default:
 		return fmt.Sprintf("MechanismKind(%d)", int(k))
 	}
@@ -182,6 +207,12 @@ type Config struct {
 	// Mobility moves users between rounds with the time they did not
 	// spend on tasks; zero means stationary (the paper's implicit model).
 	Mobility MobilityKind `json:"mobility"`
+	// MobilityUncertainty is the extra per-round neighborhood mixing the
+	// mobility forecast assumes on top of the model's own diffusion, in
+	// [0, 1]: 0 trusts the model, 1 collapses the forecast to the uniform
+	// equilibrium after one round. Consumed by forecast-driven mechanisms
+	// (MechanismIncentMe); ignored otherwise.
+	MobilityUncertainty float64 `json:"mobility_uncertainty,omitempty"`
 	// RoundParallelism is the number of worker goroutines that solve the
 	// per-user task selection problems of one round concurrently. Zero or
 	// one runs the historical sequential loop. Higher values use the
@@ -325,7 +356,53 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("sim: unknown mobility %v", c.Mobility)
 	}
+	if c.MobilityUncertainty < 0 || c.MobilityUncertainty > 1 {
+		return fmt.Errorf("sim: mobility uncertainty %v, want in [0, 1]", c.MobilityUncertainty)
+	}
+	if !validMechanism(c.Mechanism) {
+		return fmt.Errorf("sim: unknown mechanism %v (valid kinds: %s)", c.Mechanism, mechanismKindList())
+	}
+	// Cross-check the mechanism's declared capabilities against the knobs
+	// that supply them, so an unsatisfiable configuration fails here with
+	// a mechanism-specific message instead of surfacing mid-construction.
+	switch c.Mechanism {
+	case MechanismAuction:
+		// Budget > 0 and CostPerMeter >= 0 are enforced above; bids
+		// additionally need a strictly positive travel cost, or every
+		// worker would bid zero and the auction degenerates.
+		if c.CostPerMeter <= 0 {
+			return fmt.Errorf("sim: mechanism %v requires worker bids, so cost per meter must be > 0 (got %v)",
+				c.Mechanism, c.CostPerMeter)
+		}
+	case MechanismIncentMe:
+		// The forecast needs a mobility model; every MobilityKind accepted
+		// above supplies one, and MobilityUncertainty was range-checked —
+		// nothing further to verify.
+	}
 	return nil
+}
+
+// validMechanism reports whether k is a recognized mechanism kind.
+func validMechanism(k MechanismKind) bool {
+	for _, v := range mechanismKinds {
+		if k == v {
+			return true
+		}
+	}
+	return false
+}
+
+// mechanismKindList renders every valid kind for error messages:
+// "on-demand, fixed, ...".
+func mechanismKindList() string {
+	s := ""
+	for i, k := range mechanismKinds {
+		if i > 0 {
+			s += ", "
+		}
+		s += k.String()
+	}
+	return s
 }
 
 // buildMobility constructs the configured mobility model over the area.
@@ -344,8 +421,10 @@ func (c Config) buildMobility(area geo.Rect) (mobility.Model, error) {
 
 // buildMechanism constructs the configured incentive mechanism.
 // totalRequired is the campaign's total measurement requirement (for
-// Eq. 9); rng drives the fixed mechanism's random draws.
-func (c Config) buildMechanism(totalRequired int, rng *stats.RNG) (incentive.Mechanism, error) {
+// Eq. 9). Capability inputs — the fixed mechanism's RNG, the auction's
+// bids and budget, the forecast — are not baked in here: they reach the
+// mechanism per round through the engine's RoundInput assembly.
+func (c Config) buildMechanism(totalRequired int) (incentive.Mechanism, error) {
 	levels := demand.LevelMapper{N: c.DemandLevels}
 	scheme, err := incentive.SchemeFromBudget(c.Budget, totalRequired, c.RewardLambda, levels)
 	if err != nil {
@@ -355,7 +434,7 @@ func (c Config) buildMechanism(totalRequired int, rng *stats.RNG) (incentive.Mec
 	case MechanismOnDemand:
 		return incentive.NewPaperOnDemand(scheme)
 	case MechanismFixed:
-		return incentive.NewFixed(scheme, rng)
+		return incentive.NewFixed(scheme)
 	case MechanismSteered:
 		return incentive.NewBudgetScaledSteered(scheme.MaxReward())
 	case MechanismSteeredRaw:
@@ -368,8 +447,12 @@ func (c Config) buildMechanism(totalRequired int, rng *stats.RNG) (incentive.Mec
 		return incentive.NewSingleFactorOnDemand(incentive.FactorProgress, scheme)
 	case MechanismNeighborsOnly:
 		return incentive.NewSingleFactorOnDemand(incentive.FactorNeighbors, scheme)
+	case MechanismAuction:
+		return incentive.NewAuction(), nil
+	case MechanismIncentMe:
+		return incentive.NewIncentMe(scheme)
 	default:
-		return nil, fmt.Errorf("sim: unknown mechanism %v", c.Mechanism)
+		return nil, fmt.Errorf("sim: unknown mechanism %v (valid kinds: %s)", c.Mechanism, mechanismKindList())
 	}
 }
 

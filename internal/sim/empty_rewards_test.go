@@ -14,7 +14,13 @@ type emptyRewardMechanism struct{}
 
 func (emptyRewardMechanism) Name() string { return "empty-stub" }
 
-func (emptyRewardMechanism) Rewards(int, []incentive.TaskView) (map[task.ID]float64, error) {
+func (emptyRewardMechanism) Requires() incentive.Capabilities { return 0 }
+
+func (emptyRewardMechanism) RewardsInto(*incentive.RoundInput, map[task.ID]float64) error {
+	return nil
+}
+
+func (emptyRewardMechanism) Rewards(*incentive.RoundInput) (map[task.ID]float64, error) {
 	return map[task.ID]float64{}, nil
 }
 

@@ -37,6 +37,27 @@ func TestShardedTrialDeterminism(t *testing.T) {
 				Mobility:  MobilityRandomWaypoint,
 			},
 		},
+		{
+			// Bids + budget capability: the auction's bid assembly must be a
+			// function of the global user slice, not of any per-region view.
+			name: "auction",
+			cfg: Config{
+				Workload:  workload.Config{NumUsers: 50, NumTasks: 12, Required: 4},
+				Rounds:    5,
+				Mechanism: MechanismAuction,
+			},
+		},
+		{
+			// Mobility-forecast capability under moving users.
+			name: "incentme",
+			cfg: Config{
+				Workload:            workload.Config{NumUsers: 50, NumTasks: 12, Required: 4},
+				Rounds:              5,
+				Mechanism:           MechanismIncentMe,
+				Mobility:            MobilityRandomWaypoint,
+				MobilityUncertainty: 0.3,
+			},
+		},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {

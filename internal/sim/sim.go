@@ -23,7 +23,9 @@ import (
 // observers to capture data the final metrics do not retain (for example
 // per-user plans at a specific round for Fig. 5).
 type Observer interface {
-	// RoundStart fires after reward update and task publication.
+	// RoundStart fires after reward update and task publication. The
+	// rewards map is engine-owned scratch recycled by the next round's
+	// reprice: observers that keep it past the call must copy it.
 	RoundStart(round int, rewards map[task.ID]float64)
 	// UserPlanned fires after each user's task selection, whether or not
 	// the plan is empty. The problem (including its Candidates slice and
@@ -141,7 +143,7 @@ func NewFromScenario(cfg Config, sc workload.Scenario, seed int64) (*Simulation,
 	if err != nil {
 		return nil, err
 	}
-	mech, err := cfg.buildMechanism(board.TotalRequired(), mechRNG)
+	mech, err := cfg.buildMechanism(board.TotalRequired())
 	if err != nil {
 		return nil, err
 	}
@@ -153,30 +155,49 @@ func NewFromScenario(cfg Config, sc workload.Scenario, seed int64) (*Simulation,
 	if err != nil {
 		return nil, err
 	}
+	// The forecast backing the mobility capability shares the simulation's
+	// mobility model, so forecast-driven pricing sees the same movement
+	// assumptions that actually move the users.
+	fc, err := mobility.NewForecast(mob, cfg.MobilityUncertainty, sc.Area, cfg.NeighborRadius, len(sc.UserLocations))
+	if err != nil {
+		return nil, err
+	}
 	// Historical simulator behavior either way: unpriced open tasks stay
 	// in candidate sets at reward 0 (the candidate count feeds Auto's
 	// algorithm dispatch, so dropping them would change results). With
 	// Shards > 0 the geo-sharded engine replaces the single engine; its
 	// output is byte-identical at every shard count (DESIGN.md sec. 14).
+	// The capability fields are always supplied — the engine hands each
+	// mechanism only what its Requires() mask declares, so unused inputs
+	// cost nothing and consume no randomness. mechRNG keeps its historical
+	// split position, so the fixed mechanism's level draws are unchanged.
 	var eng engine.RoundEngine
 	if cfg.Shards > 0 {
 		eng, err = shard.New(shard.Config{
-			Board:          board,
-			Mechanism:      mech,
-			Area:           sc.Area,
-			NeighborRadius: cfg.NeighborRadius,
-			DisableContext: cfg.DisableRoundContext,
-			RequirePriced:  false,
-			Shards:         cfg.Shards,
+			Board:           board,
+			Mechanism:       mech,
+			Area:            sc.Area,
+			NeighborRadius:  cfg.NeighborRadius,
+			DisableContext:  cfg.DisableRoundContext,
+			RequirePriced:   false,
+			Shards:          cfg.Shards,
+			RNG:             mechRNG,
+			Budget:          cfg.Budget,
+			BidCostPerMeter: cfg.CostPerMeter,
+			Forecast:        fc,
 		})
 	} else {
 		eng, err = engine.New(engine.Config{
-			Board:          board,
-			Mechanism:      mech,
-			Area:           sc.Area,
-			NeighborRadius: cfg.NeighborRadius,
-			DisableContext: cfg.DisableRoundContext,
-			RequirePriced:  false,
+			Board:           board,
+			Mechanism:       mech,
+			Area:            sc.Area,
+			NeighborRadius:  cfg.NeighborRadius,
+			DisableContext:  cfg.DisableRoundContext,
+			RequirePriced:   false,
+			RNG:             mechRNG,
+			Budget:          cfg.Budget,
+			BidCostPerMeter: cfg.CostPerMeter,
+			Forecast:        fc,
 		})
 	}
 	if err != nil {

@@ -60,21 +60,60 @@ func TestPublicIncentiveAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rewards, err := mech.Rewards(1, []paydemand.TaskView{
+	rewards, err := mech.Rewards(&paydemand.RoundInput{Round: 1, Views: []paydemand.TaskView{
 		{ID: 1, Deadline: 10, Required: 20},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rewards) != 1 {
 		t.Fatalf("rewards = %v", rewards)
 	}
-	fixed, err := paydemand.NewFixedMechanism(scheme, 42)
+	fixed, err := paydemand.NewFixedMechanism(scheme)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fixed.Name() != "fixed" {
 		t.Error("fixed name wrong")
+	}
+	if !fixed.Requires().Has(paydemand.CapRNG) {
+		t.Error("fixed does not declare the rng capability")
+	}
+	fr, err := fixed.Rewards(&paydemand.RoundInput{
+		Round: 1,
+		Views: []paydemand.TaskView{{ID: 1, Deadline: 10, Required: 20}},
+		RNG:   paydemand.NewMechanismRNG(42),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != 1 {
+		t.Fatalf("fixed rewards = %v", fr)
+	}
+	auction := paydemand.NewAuctionMechanism()
+	if auction.Requires() != paydemand.CapBids|paydemand.CapBudget {
+		t.Errorf("auction capabilities = %v", auction.Requires())
+	}
+	ar, err := auction.Rewards(&paydemand.RoundInput{
+		Round:  1,
+		Views:  []paydemand.TaskView{{ID: 1, Deadline: 10, Required: 20}},
+		Bids:   []paydemand.Bid{{Worker: 0, Cost: 2}, {Worker: 1, Cost: 9}},
+		Budget: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 10 affords only the cheap bid (the 9-bid exceeds 10/2), and
+	// the winner's critical payment is capped by the losing bid.
+	if ar[1] != 9 {
+		t.Errorf("auction reward = %v, want 9", ar[1])
+	}
+	incentme, err := paydemand.NewIncentMeMechanism(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !incentme.Requires().Has(paydemand.CapMobility) {
+		t.Error("incentme does not declare the mobility capability")
 	}
 	steered := paydemand.NewSteeredMechanism()
 	if got := steered.RewardAt(0); math.Abs(got-25) > 1e-9 {
@@ -134,7 +173,7 @@ func TestPublicScenarioAPI(t *testing.T) {
 
 func TestPublicExperimentAPI(t *testing.T) {
 	ids := paydemand.ExperimentIDs()
-	if len(ids) != 21 {
+	if len(ids) != 22 {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	f, err := paydemand.RunExperiment("fig6a", paydemand.ExperimentOptions{
